@@ -1,0 +1,50 @@
+"""Benchmark — ablations of the inferred on-DIMM design choices.
+
+Not a paper figure: each ablation flips one design choice the paper
+inferred (read/write buffer eviction, periodic write-back, the buffer
+transition, the sfence reorder window) and asserts that the black-box
+signature the paper used to infer it changes accordingly.
+"""
+
+from conftest import render_all
+from repro.experiments import ablations
+
+
+def bench_ablation_write_buffer_eviction(run_experiment, profile):
+    report = run_experiment(ablations.ablate_write_buffer_eviction)
+    render_all(report)
+    random_hits = report.get("random eviction")
+    fifo_hits = report.get("fifo eviction")
+    # Below capacity both absorb; beyond, FIFO collapses to zero on the
+    # cyclic pattern while random eviction decays gracefully.
+    assert fifo_hits[-1] == 0.0
+    assert random_hits[-1] > 0.05
+    assert random_hits[2] > fifo_hits[2] + 0.3
+
+
+def bench_ablation_periodic_writeback(run_experiment, profile):
+    report = run_experiment(ablations.ablate_periodic_writeback)
+    render_all(report)
+    with_wb = report.get("periodic write-back")
+    without = report.get("no write-back")
+    assert with_wb[0] > 0.8  # WA ~ 1 at 4 KB: the G1 signature
+    assert without[0] < 0.05  # absorbed: the G2 signature
+
+
+def bench_ablation_transition(run_experiment, profile):
+    report = run_experiment(ablations.ablate_transition)
+    render_all(report)
+    with_transition = report.get("with transition")
+    without = report.get("without transition")
+    assert with_transition[0] > 0  # rmw_avoided
+    assert without[0] == 0
+    assert with_transition[1] < without[1]  # less media traffic
+
+
+def bench_ablation_sfence_window(run_experiment, profile):
+    report = run_experiment(ablations.ablate_sfence_window)
+    render_all(report)
+    windowed = report.get("window=2")
+    unwindowed = report.get("no window (mfence-like)")
+    assert windowed[0] < 400  # distance 0 cheap with the window
+    assert unwindowed[0] > 1500  # and expensive without it

@@ -1,0 +1,33 @@
+"""Benchmark E1 — Figure 2: read amplification vs WSS (read buffer).
+
+Regenerates the paper's Figure 2 for both Optane generations and
+asserts claim C1: a FIFO, CPU-cache-exclusive on-DIMM read buffer.
+"""
+
+import pytest
+
+from conftest import render_all
+from repro.experiments import fig02
+
+
+@pytest.mark.parametrize("generation", [1, 2])
+def bench_fig02(run_experiment, profile, generation):
+    report = run_experiment(fig02.run, generation, profile)
+    render_all(report)
+
+    buffer_kib = 16 if generation == 1 else 22
+    below = (buffer_kib - 4) * 1024
+    below = max(below // 2048 * 2048, 2048)  # snap to grid
+    above = 32 * 1024
+
+    # C1a: RA = 4 / CpX while the WSS fits the read buffer.
+    for cpx, series in ((1, "read 1 cacheline"), (2, "read 2 cachelines"),
+                        (4, "read 4 cachelines")):
+        assert report.value(series, below) == pytest.approx(4.0 / cpx, rel=0.1)
+    # C1b: RA jumps to 4 for every CpX once the buffer overflows (FIFO).
+    for series in ("read 1 cacheline", "read 2 cachelines",
+                   "read 3 cachelines", "read 4 cachelines"):
+        assert report.value(series, above) == pytest.approx(4.0, rel=0.05)
+    # C1c: exclusivity — RA never drops below 1 anywhere.
+    for series in report.series:
+        assert min(series.values) >= 0.99

@@ -1,0 +1,36 @@
+"""Benchmark E3 — Figure 3: write amplification by write fraction.
+
+Regenerates Figure 3 and asserts claim C3: partial writes absorbed
+below the write-buffer capacity; G1 periodically writes back fully
+dirty XPLines (WA ≈ 1 for 100% writes at any WSS); G2 does not.
+"""
+
+import pytest
+
+from conftest import render_all
+from repro.experiments import fig03
+
+
+@pytest.mark.parametrize("generation", [1, 2])
+def bench_fig03(run_experiment, profile, generation):
+    report = run_experiment(fig03.run, generation, profile)
+    render_all(report)
+
+    small = 8 * 1024
+    large = 32 * 1024
+
+    if generation == 1:
+        # Partial writes: fully absorbed below 12 KB.
+        for series in ("25% write", "50% write", "75% write"):
+            assert report.value(series, small) == 0.0
+        # 100% writes: periodic write-back keeps WA near 1 even small.
+        assert report.value("100% write", small) > 0.8
+    else:
+        # G2: no periodic write-back; everything absorbed below 16 KB.
+        for series in ("25% write", "50% write", "75% write", "100% write"):
+            assert report.value(series, small) < 0.1
+
+    # Beyond capacity, WA approaches the theoretical 4/k for partials.
+    assert report.value("25% write", large) > 2.5
+    assert report.value("50% write", large) > 1.3
+    assert report.value("25% write", large) <= 4.0 + 1e-9

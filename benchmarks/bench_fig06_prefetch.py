@@ -1,0 +1,46 @@
+"""Benchmark E2 — Figure 6: CPU prefetching into the on-DIMM buffers.
+
+Regenerates the four panels (per generation) and asserts claim C2:
+no on-DIMM prefetching of its own (ratios ≈ 1 with prefetchers off);
+with CPU prefetchers on, the PM read ratio rises past the read buffer
+and diverges above the iMC ratio past the LLC, approaching ~2 for the
+DCU streamer.
+"""
+
+import pytest
+
+from conftest import render_all
+from repro.common.units import kib, mib
+from repro.experiments import fig06
+
+
+@pytest.mark.parametrize("generation", [1, 2])
+def bench_fig06(run_experiment, profile, generation):
+    reports = run_experiment(fig06.run, generation, profile)
+    render_all(reports)
+    by_panel = {report.title.split(" (")[0]: report for report in reports}
+
+    none = by_panel["no prefetch"]
+    pm = f"PM (G{generation})"
+    imc = f"iMC (G{generation})"
+    big = mib(64)
+
+    # (a/e) No prefetch: both ratios flat at ~1 everywhere.
+    for series in (none.get(pm), none.get(imc)):
+        assert max(series) < 1.15
+        assert min(series) > 0.9
+
+    # (d/h) DCU streamer: PM ratio ~2 past the LLC, well above iMC.
+    dcu = by_panel["DCU streamer prefetch"]
+    assert dcu.value(pm, big) > 1.5
+    assert dcu.value(pm, big) > dcu.value(imc, big) + 0.2
+    # Small working sets stay near 1 (prefetches land in the buffer).
+    assert dcu.value(pm, kib(4)) < 1.3
+
+    # (b/f) Hardware streamer is the mildest of the three.
+    streamer = by_panel["hardware prefetch"]
+    assert streamer.value(pm, big) < dcu.value(pm, big)
+
+    # (c/g) Adjacent-line sits in between / at least above 1.
+    adjacent = by_panel["adjacent cacheline prefetch"]
+    assert adjacent.value(pm, big) > 1.3

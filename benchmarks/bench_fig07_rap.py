@@ -1,0 +1,49 @@
+"""Benchmark E5 — Figure 7: read-after-persist latency curves.
+
+Regenerates all four panels per generation and asserts claim C5:
+~10x RAP penalty on G1 (worse remotely), the sfence window at
+distance <= 1, the G2 clwb fix, nt-store suffering on both
+generations, and the much smaller DRAM gap.
+"""
+
+import pytest
+
+from conftest import render_all
+from repro.experiments import fig07
+
+
+@pytest.mark.parametrize("generation", [1, 2])
+def bench_fig07(run_experiment, profile, generation):
+    reports = run_experiment(fig07.run, generation, profile)
+    render_all(reports)
+    by_region = {report.experiment_id.split("-")[-1]: report for report in reports}
+
+    pm = by_region["pm"]
+    dram = by_region["dram"]
+    pm_remote = by_region["pm_remote"]
+
+    near, far = 0, 32
+
+    if generation == 1:
+        # C5a: clwb+mfence at distance 0 costs several times the settled level.
+        assert pm.value("clwb+mfence", near) > 4 * pm.value("clwb+mfence", far)
+        # C5b: sfence keeps distances 0-1 cheap, then jumps.
+        assert pm.value("clwb+sfence", 0) < 400
+        assert pm.value("clwb+sfence", 1) < 400
+        assert pm.value("clwb+sfence", 2) > 500
+        # C5c: remote NUMA is worse than local.
+        assert pm_remote.value("clwb+mfence", near) > pm.value("clwb+mfence", near)
+    else:
+        # C5d: G2 clwb retains the line — flat, low curves.
+        assert pm.value("clwb+mfence", near) < 500
+        assert pm.value("clwb+mfence", near) < 1.5 * pm.value("clwb+mfence", far)
+
+    # nt-store suffers on both generations.
+    assert pm.value("nt-store+mfence", near) > 3 * pm.value("nt-store+mfence", far)
+
+    # DRAM's near/far gap is a couple of x, not ~10x.
+    dram_gap = dram.value("clwb+mfence", near) / dram.value("clwb+mfence", far)
+    if generation == 1:
+        pm_gap = pm.value("clwb+mfence", near) / pm.value("clwb+mfence", far)
+        assert dram_gap < pm_gap
+    assert dram_gap < 5

@@ -1,0 +1,46 @@
+"""Benchmark E6 — Figure 8: user-perceived latency across WSS.
+
+Regenerates panels (a) strict, (b) relaxed, (c) pure read/write
+breakdown, and asserts claim C6: three latency levels, relaxed <
+strict only below the plateau, flat write latency at any WSS, reads
+dominating beyond the caches, and sequential reads beating random
+thanks to prefetch into the read buffer.
+"""
+
+import pytest
+
+from conftest import render_all
+from repro.common.units import kib, mib
+from repro.experiments import fig08
+
+
+@pytest.mark.parametrize("generation", [1])
+def bench_fig08(run_experiment, profile, generation):
+    strict, relaxed, breakdown = run_experiment(fig08.run, generation, profile)
+    render_all([strict, relaxed, breakdown])
+
+    small, plateau, large = kib(4), kib(256), mib(64)
+
+    # Three latency levels (strict clwb, random chain).
+    curve = strict.get("rand_clwb")
+    xs = strict.x_values
+    assert curve[xs.index(small)] < curve[xs.index(plateau)] < curve[xs.index(large)]
+    # The large-WSS level is several times the small-WSS level.
+    assert curve[xs.index(large)] > 3 * curve[xs.index(small)]
+
+    # Relaxed beats strict at small WSS; they converge at the plateau.
+    assert relaxed.value("rand_clwb", small) < strict.value("rand_clwb", small)
+    assert relaxed.value("rand_clwb", plateau) == pytest.approx(
+        strict.value("rand_clwb", plateau), rel=0.3
+    )
+
+    # Pure writes are flat regardless of WSS or order (C6 writes).
+    for series in ("seq_wr", "rand_wr"):
+        values = breakdown.get(series)
+        assert max(values) < 1.5 * min(values)
+
+    # Pure reads: cache-cheap until the knee, then dominant.
+    assert breakdown.value("rand_rd", small) < 60
+    assert breakdown.value("rand_rd", large) > breakdown.value("rand_wr", large)
+    # Sequential reads beat random at large WSS (on-DIMM prefetch).
+    assert breakdown.value("seq_rd", large) < 0.8 * breakdown.value("rand_rd", large)

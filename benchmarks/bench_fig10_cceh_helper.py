@@ -1,0 +1,47 @@
+"""Benchmark E7b — Figure 10: helper-thread prefetching in CCEH.
+
+Regenerates the PM and DRAM panels and asserts claim C7: consistent
+latency/throughput improvement on PM across worker counts, and no
+improvement (degradation) on DRAM.
+"""
+
+from conftest import render_all
+from repro.experiments import fig10
+
+
+def bench_fig10(run_experiment, profile):
+    pm, dram = run_experiment(fig10.run, 1, profile)
+    render_all([pm, dram])
+
+    # PM: the helper improves latency while the single DIMM has
+    # bandwidth headroom, with a meaningful peak improvement (paper:
+    # up to ~36%).  The paper's artifact notes the improvement "may
+    # fade away faster with fewer DIMMs upon multi-threaded insert" —
+    # at 8-10 workers on one DIMM the media is saturated and the
+    # prefetches no longer pay, so only the low-to-mid counts must win.
+    workers = pm.x_values
+    improvements = [
+        1 - helped / base
+        for base, helped in zip(pm.get("latency CCEH"), pm.get("latency CCEH+prefetch"))
+    ]
+    low_count = [imp for count, imp in zip(workers, improvements) if count <= 6]
+    assert all(improvement > 0 for improvement in low_count)
+    assert max(improvements) > 0.15
+
+    # PM throughput also improves at low-to-mid worker counts.
+    tput_gain = [
+        helped / base - 1
+        for base, helped in zip(pm.get("tput CCEH"), pm.get("tput CCEH+prefetch"))
+    ]
+    assert max(tput_gain) > 0.1
+
+    # DRAM: the helper does NOT help (degradation, as in the paper).
+    dram_improvements = [
+        1 - helped / base
+        for base, helped in zip(dram.get("latency CCEH"), dram.get("latency CCEH+prefetch"))
+    ]
+    assert max(dram_improvements) < 0.05
+
+    # Baseline throughput grows with workers before saturating.
+    base_tput = pm.get("tput CCEH")
+    assert base_tput[-1] > base_tput[0]

@@ -1,0 +1,40 @@
+"""Benchmark E8 — Figure 12: B+-tree in-place vs out-of-place updates.
+
+Regenerates both generations' panels and asserts claim C8: on G1 the
+redo-logging variant wins large (paper: up to ~38.8% latency / ~60.8%
+throughput) with the benefit declining as threads contend for
+bandwidth; on G2 it brings no improvement.
+"""
+
+import pytest
+
+from conftest import render_all
+from repro.experiments import fig12
+
+
+@pytest.mark.parametrize("generation", [1, 2])
+def bench_fig12(run_experiment, profile, generation):
+    report = run_experiment(fig12.run, generation, profile)
+    render_all(report)
+
+    inplace_lat = report.get("latency in-place")
+    redo_lat = report.get("latency out-of-place")
+    inplace_tput = report.get("tput in-place")
+    redo_tput = report.get("tput out-of-place")
+
+    if generation == 1:
+        # Redo wins at one thread: sizable latency and throughput gains.
+        latency_gain = 1 - redo_lat[0] / inplace_lat[0]
+        tput_gain = redo_tput[0] / inplace_tput[0] - 1
+        assert latency_gain > 0.25
+        assert tput_gain > 0.35
+        # The relative benefit declines as the thread count grows.
+        first_ratio = inplace_lat[0] / redo_lat[0]
+        last_ratio = inplace_lat[-1] / redo_lat[-1]
+        assert last_ratio < first_ratio + 0.05
+        # Redo wins at every measured thread count on G1.
+        assert all(r < i for r, i in zip(redo_lat, inplace_lat))
+    else:
+        # G2: no benefit from redo logging (at most slight degradation).
+        assert redo_lat[0] > inplace_lat[0] * 0.9
+        assert redo_tput[0] < inplace_tput[0] * 1.1

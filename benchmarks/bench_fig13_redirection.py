@@ -1,0 +1,28 @@
+"""Benchmark E9a — Figure 13: redirection removes misprefetched reads.
+
+Regenerates the read-ratio panel and asserts claim C9 (first half):
+with prefetching the DIMM reads up to ~2x the demanded data at large
+WSS; the Algorithm-2 redirection brings the PM ratio back to ~1.
+"""
+
+import pytest
+
+from conftest import render_all
+from repro.common.units import kib, mib
+from repro.experiments import fig13
+
+
+@pytest.mark.parametrize("generation", [1, 2])
+def bench_fig13(run_experiment, profile, generation):
+    report = run_experiment(fig13.run, generation, profile)
+    render_all(report)
+
+    big = mib(64)
+    # Baseline wastes significant media bandwidth at large WSS...
+    assert report.value("PM with prefetching", big) > 1.4
+    # ...while the optimized path stays at ~1 everywhere.
+    optimized = report.get("Optimized PM")
+    assert max(optimized) < 1.2
+    assert report.value("Optimized PM", big) == pytest.approx(1.0, abs=0.15)
+    # At tiny WSS prefetching is harmless for both.
+    assert report.value("PM with prefetching", kib(4)) < 1.3

@@ -1,0 +1,29 @@
+"""Benchmark E9b — Figure 14: the redirection tradeoff under threads.
+
+Regenerates the latency/throughput-vs-threads panel and asserts claim
+C9 (second half): the extra PM→DRAM copy loses at one thread but wins
+both latency and throughput at high thread counts, where reclaimed
+media bandwidth dominates.
+"""
+
+from conftest import render_all
+from repro.experiments import fig14
+
+
+def bench_fig14(run_experiment, profile):
+    report = run_experiment(fig14.run, 1, profile)
+    render_all(report)
+
+    base_lat = report.get("latency baseline")
+    opt_lat = report.get("latency optimized")
+    base_tput = report.get("tput baseline")
+    opt_tput = report.get("tput optimized")
+
+    # Single thread: the copy overhead makes redirection slower.
+    assert opt_lat[0] > base_lat[0]
+    # Many threads: redirection wins both metrics.
+    assert opt_lat[-1] < base_lat[-1]
+    assert opt_tput[-1] > base_tput[-1]
+    # Baseline throughput saturates (wasted media reads cap it) while
+    # the optimized curve keeps scaling further.
+    assert opt_tput[-1] > 1.5 * base_tput[1]

@@ -1,0 +1,30 @@
+"""Benchmark — Section 3.3: read/write buffer separation + transition.
+
+No figure in the paper; asserts the section's stated findings: the
+interleaved probe behaves exactly like the isolated baselines (RA = 1,
+zero media writes — separate buffers) and write-then-read XPLine
+traffic is served mostly from the buffers, with writes adopting
+read-buffered XPLines (RMW avoided).
+"""
+
+import pytest
+
+from conftest import render_all
+from repro.experiments import sec33
+
+
+@pytest.mark.parametrize("generation", [1, 2])
+def bench_sec33(run_experiment, profile, generation):
+    result = run_experiment(sec33.run, generation, profile)
+    render_all(sec33.as_report(result))
+
+    sep = result.separation
+    assert sep.buffers_are_separate
+    assert sep.interleaved_read_amplification == pytest.approx(1.0, rel=0.05)
+    assert sep.interleaved_media_write_bytes == 0
+
+    # Transition probe: media traffic ≪ iMC traffic (buffers hit), and
+    # the read-first ordering exercises the read→write adoption.
+    assert result.transition_write_first.media_traffic_fraction < 0.5
+    assert result.transition_read_first.media_traffic_fraction < 0.5
+    assert result.transition_read_first.rmw_avoided > 0

@@ -1,0 +1,63 @@
+"""Benchmarks — supplemental characterizations (not numbered figures).
+
+* §2.2 device bandwidth: read/write asymmetry and the write-scaling
+  ceiling every Optane study leans on.
+* §2.4: 1 vs 6 interleaved DIMMs — same latency, multiplied bandwidth.
+* §3.5 implications: persistent-lock handover latency across
+  generations and NUMA placements.
+"""
+
+import pytest
+
+from conftest import render_all
+from repro.experiments import bandwidth, interleaving, lock_handover
+
+
+def bench_bandwidth(run_experiment, profile):
+    report = run_experiment(bandwidth.run, 1, profile)
+    render_all(report)
+
+    seq_read = report.get("seq-read")
+    rand_read = report.get("rand-read")
+    nt_write = report.get("nt-write")
+
+    # Writes do not scale beyond a small thread count (§2.2): the curve
+    # is flat (media-drain-bound) from the start.
+    assert max(nt_write) < min(nt_write) * 1.3
+    # Sequential reads keep scaling with threads.
+    assert seq_read[-1] > seq_read[0] * 3
+    # Random 64 B reads are far below sequential (whole-XPLine fetches
+    # per cacheline — read amplification eats the bandwidth).
+    assert rand_read[-1] < seq_read[-1] / 2
+    # Peak read bandwidth exceeds the random-write drain.
+    assert seq_read[-1] > rand_read[0]
+
+
+def bench_interleaving(run_experiment, profile):
+    report = run_experiment(interleaving.run, 1, profile)
+    render_all(report)
+
+    latency = report.get("random read latency (cycles)")
+    bw = report.get("nt-store bandwidth (GB/s, 8 threads)")
+    # Interleaving leaves single-access latency unchanged...
+    assert latency[1] == pytest.approx(latency[0], rel=0.1)
+    # ...while multiplying aggregate write bandwidth.
+    assert bw[1] > 3 * bw[0]
+
+
+def bench_lock_handover(run_experiment, profile):
+    report = run_experiment(lock_handover.run, profile)
+    render_all(report)
+
+    g1_pm = report.value("G1", "pm")
+    g1_remote = report.value("G1", "pm_remote")
+    g1_dram = report.value("G1", "dram")
+    g2_pm = report.value("G2", "pm")
+
+    # G1: handing over a persistent lock pays the full RAP stall.
+    assert g1_pm > 3 * g2_pm
+    # Remote placement makes it worse (paper: "cross socket access may
+    # make it even worse").
+    assert g1_remote > g1_pm
+    # DRAM locks are much cheaper than G1 PM locks.
+    assert g1_dram < g1_pm / 2

@@ -1,0 +1,25 @@
+"""Benchmark E7a — Table 1: time breakdown of CCEH key insertion.
+
+Regenerates the paper's Table 1 and asserts its headline: the segment
+read (a random media read) dominates insertion time across thread and
+DIMM configurations, ahead of persists and misc.
+"""
+
+from conftest import render_all
+from repro.experiments import table1
+
+
+def bench_table1(run_experiment, profile):
+    rows = run_experiment(table1.run, 1, profile)
+    render_all(table1.as_report(rows, 1))
+
+    for row in rows:
+        label = f"{row.threads}T/{row.dimms}D"
+        # Segment metadata dominates (paper: 43-52%).
+        assert row.segment_metadata > 0.35, label
+        assert row.segment_metadata > row.persists, label
+        assert row.segment_metadata > row.misc, label
+        # Persists are a significant but secondary cost (paper: 21-26%).
+        assert 0.08 < row.persists < 0.45, label
+        # Fractions are a partition of the total.
+        assert abs(row.segment_metadata + row.persists + row.misc - 1.0) < 1e-6, label

@@ -1,0 +1,43 @@
+"""Shared helpers for the per-figure benchmark harnesses.
+
+Each ``bench_*`` module reproduces one table or figure of the paper:
+it runs the corresponding experiment (fast profile by default — set
+``REPRO_PROFILE=full`` for the EXPERIMENTS.md numbers), prints the
+same rows/series the paper plots, and asserts the shape claims.
+
+``pytest benchmarks/ --benchmark-only`` runs everything; wall-clock of
+each experiment is captured by pytest-benchmark via one pedantic round
+(these are simulations — the interesting output is the printed report,
+not the wall time).
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture
+def profile() -> str:
+    """Experiment profile: "fast" (default) or "full" via REPRO_PROFILE."""
+    return os.environ.get("REPRO_PROFILE", "fast")
+
+
+@pytest.fixture
+def run_experiment(benchmark, capsys):
+    """Run an experiment function once under pytest-benchmark and
+    return its result; the experiment's report printing survives -s."""
+
+    def runner(fn, *args, **kwargs):
+        result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+        return result
+
+    return runner
+
+
+def render_all(reports) -> None:
+    """Print one or many ExperimentReports."""
+    if not isinstance(reports, (list, tuple)):
+        reports = [reports]
+    for report in reports:
+        print()
+        print(report.render())

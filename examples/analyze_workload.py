@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Profile your own persistent data structure the paper's way.
+
+The paper's core proposition: *decouple reads and writes* when
+analyzing a persistent workload — loads are synchronous and expensive,
+persists are asynchronous and flat, ordering is what you actually pay
+for.  `InstrumentedCore` + `read_write_summary` give you that
+decomposition for any code written against the Core API.
+
+This example profiles a toy persistent FIFO queue (something not in
+the paper) on both PM and DRAM and prints where its cycles go.
+
+Run:  python examples/analyze_workload.py
+"""
+
+from repro.common.constants import CACHELINE_SIZE
+from repro.core import InstrumentedCore, read_write_summary
+from repro.persist import PmHeap
+from repro.system import g1_machine
+
+
+class PersistentQueue:
+    """A minimal persistent ring of cacheline-sized records."""
+
+    def __init__(self, allocator, capacity=4096):
+        self.capacity = capacity
+        self.base = allocator.alloc(capacity * CACHELINE_SIZE, align=CACHELINE_SIZE)
+        self.head_addr = allocator.alloc(CACHELINE_SIZE)
+        self.tail_addr = allocator.alloc(CACHELINE_SIZE)
+        self.head = 0
+        self.tail = 0
+
+    def _slot(self, index):
+        return self.base + (index % self.capacity) * CACHELINE_SIZE
+
+    def enqueue(self, core):
+        core.store(self._slot(self.tail), CACHELINE_SIZE)  # record
+        core.clwb(self._slot(self.tail))
+        core.sfence()
+        self.tail += 1
+        core.store(self.tail_addr, 8)  # tail pointer, persisted second
+        core.clwb(self.tail_addr)
+        core.sfence()
+
+    def dequeue(self, core):
+        core.load(self.head_addr, 8)
+        core.load(self._slot(self.head), 8)  # read the record
+        self.head += 1
+        core.store(self.head_addr, 8)
+        core.clwb(self.head_addr)
+        core.sfence()
+
+
+def profile(region: str, operations: int = 4000) -> dict:
+    machine = g1_machine()
+    heap = PmHeap(machine)
+    allocator = heap.pm if region == "pm" else heap.dram
+    queue = PersistentQueue(allocator)
+    core = InstrumentedCore(machine.new_core())
+    start = core.now
+    for index in range(operations):
+        queue.enqueue(core)
+        if index % 2 == 1:
+            queue.dequeue(core)
+    summary = read_write_summary(core.breakdown)
+    summary["cycles/op"] = (core.now - start) / operations
+    return summary
+
+
+def main() -> None:
+    print("Persistent FIFO queue, enqueue-heavy mix, G1 testbed\n")
+    print(f"{'memory':>6}  {'cyc/op':>7}  {'read':>6}  {'write':>6}  {'order':>6}")
+    for region in ("pm", "dram"):
+        result = profile(region)
+        print(f"{region.upper():>6}  {result['cycles/op']:>7.0f}  "
+              f"{result['read']*100:>5.1f}%  {result['write']*100:>5.1f}%  "
+              f"{result['order']*100:>5.1f}%")
+    print("\nReading the decomposition the paper's way: this queue's PM")
+    print("cycles go to *ordering* (two persistence barriers per enqueue),")
+    print("not to writes — so the fix is fewer/looser barriers (e.g. one")
+    print("barrier covering record+tail), not write coalescing.")
+
+
+if __name__ == "__main__":
+    main()

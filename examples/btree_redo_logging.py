@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Case study 2 (paper §4.2): out-of-place redo logging in a B+-tree.
+
+In-place key insertion in a FAST & FAIR-style node shifts sorted
+entries one slot right, flushing and re-reading the *same cacheline*
+over and over — the read-after-persist worst case on G1 Optane.
+Redirecting the shifts through a redo log doubles the PM writes yet
+wins decisively on G1, and is a wash on G2 (whose clwb retains
+cachelines).
+
+Run:  python examples/btree_redo_logging.py
+"""
+
+from repro.datastores.btree import FastFairTree
+from repro.persist import PmHeap
+from repro.system import g1_machine, g2_machine
+from repro.workloads import insert_only_stream
+
+PREPOPULATE = 150_000
+MEASURE = 5_000
+
+
+def measure(generation: int, mode: str) -> float:
+    machine = (g1_machine if generation == 1 else g2_machine)()
+    tree = FastFairTree(PmHeap(machine), mode=mode)
+    for key in insert_only_stream(PREPOPULATE, seed=3):
+        tree.insert(key * 4, key)  # untimed pre-population, gaps for later
+    core = machine.new_core()
+    keys = insert_only_stream(MEASURE, seed=11)
+    start = core.now
+    for key in keys:
+        tree.insert(key * 4 + 1, key, core)
+    tree.check_invariants()
+    return (core.now - start) / len(keys)
+
+
+def main() -> None:
+    print(f"B+-tree: {PREPOPULATE} keys pre-loaded, {MEASURE} timed inserts\n")
+    for generation in (1, 2):
+        inplace = measure(generation, "inplace")
+        redo = measure(generation, "redo")
+        latency_gain = 100 * (1 - redo / inplace)
+        tput_gain = 100 * (inplace / redo - 1)
+        print(f"G{generation}: in-place {inplace:7.0f} cycles/insert | "
+              f"redo {redo:7.0f} | latency {latency_gain:+.1f}%, "
+              f"throughput {tput_gain:+.1f}%")
+    print("\nPaper reference: G1 up to -38.8% latency / +60.8% throughput;")
+    print("G2 no benefit (clwb keeps the line cached, so shifting never")
+    print("stalls on its own flushes).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Case study 1 (paper §4.1): helper-thread prefetching for CCEH.
+
+Builds a CCEH hash table on simulated Optane, measures insertion with
+and without a speculative helper thread, and repeats the comparison on
+DRAM — reproducing the paper's headline: the helper wins big on PM
+(random media reads dominate and the worker's fences leave bandwidth
+idle) and *loses* on DRAM (loads are short; the helper only steals
+shared-core resources).
+
+Run:  python examples/cceh_helper_prefetch.py
+"""
+
+from repro.core.helper import HelperConfig, HelperThread
+from repro.datastores.cceh import CcehHashTable
+from repro.persist import PmHeap
+from repro.system import g1_machine
+from repro.workloads import insert_only_stream
+
+PREPOPULATE = 150_000
+MEASURE = 10_000
+
+
+def build_table(machine, region: str) -> CcehHashTable:
+    heap = PmHeap(machine)
+    allocator = heap.pm if region == "pm" else heap.dram
+    table = CcehHashTable(allocator)
+    for key in insert_only_stream(PREPOPULATE, seed=5):
+        table.insert(key, key)  # untimed pre-population
+    return table
+
+
+def measure(region: str, use_helper: bool) -> float:
+    machine = g1_machine()
+    table = build_table(machine, region)
+    worker = machine.new_core("worker")
+    helper = HelperThread(machine, table.prefetch_trace, HelperConfig(depth=8))
+    keys = [key + (1 << 40) for key in insert_only_stream(MEASURE, seed=9)]
+    start = worker.now
+    for index, key in enumerate(keys):
+        if use_helper:
+            helper.sync_before(worker, keys, index)
+        worker.tick(100)  # benchmark driver overhead
+        table.insert(key, key, worker)
+    return (worker.now - start) / len(keys)
+
+
+def main() -> None:
+    print(f"CCEH: {PREPOPULATE} keys pre-loaded, {MEASURE} timed inserts\n")
+    for region in ("pm", "dram"):
+        baseline = measure(region, use_helper=False)
+        helped = measure(region, use_helper=True)
+        change = 100 * (1 - helped / baseline)
+        verdict = "improvement" if change > 0 else "DEGRADATION"
+        print(f"{region.upper():5s}: baseline {baseline:7.0f} cycles/insert | "
+              f"with helper {helped:7.0f} | {abs(change):.0f}% {verdict}")
+    print("\nThe asymmetry is the paper's point: random 3D-XPoint reads are")
+    print("the bottleneck on PM, and the helper's 100%-accurate prefetches")
+    print("hide them; DRAM has no such latency to hide.")
+
+
+if __name__ == "__main__":
+    main()

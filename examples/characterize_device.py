@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Characterize an 'unknown' PM device with the paper's methodology.
+
+The paper never opens the DIMM — it infers the on-DIMM design from
+black-box telemetry signatures.  ``repro.core.inference`` packages
+those probes; here we point them at both generations (and at a
+deliberately ablated device) and watch them recover the internals.
+
+Run:  python examples/characterize_device.py
+"""
+
+from repro.cache.prefetch import PrefetcherConfig
+from repro.common.units import kib
+from repro.core.inference import characterize, quiet_factory
+from repro.dimm.config import OptaneDimmConfig
+from repro.system.presets import g1_machine
+
+
+def main() -> None:
+    for generation in (1, 2):
+        print(f"=== Probing the G{generation} device (black box) ===")
+        print(characterize(quiet_factory(generation)).describe())
+        print()
+
+    print("=== Probing a mystery device (ablated internals) ===")
+    mystery = OptaneDimmConfig.g1(
+        read_buffer_bytes=kib(32),
+        write_buffer_bytes=kib(8),
+        write_buffer_eviction="fifo",
+        periodic_writeback=False,
+    )
+
+    def factory():
+        return g1_machine(prefetchers=PrefetcherConfig.none(), optane=mystery)
+
+    print(characterize(factory).describe())
+    print()
+    print("Ground truth was: 32 KB read buffer, 8 KB write buffer,")
+    print("FIFO eviction, no periodic write-back — all recovered from")
+    print("telemetry alone, exactly how the paper reverse-engineered")
+    print("the real hardware.")
+
+
+if __name__ == "__main__":
+    main()

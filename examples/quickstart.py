@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Quickstart: build a simulated Optane testbed and watch the buffers work.
+
+This walks the three core concepts of the library:
+
+1. build a machine (the paper's G1 testbed) and get a core;
+2. issue the x86 persistence primitives (load / store / nt_store /
+   clwb / sfence) against simulated persistent memory;
+3. read the ipmwatch-equivalent telemetry to see read/write
+   amplification — the paper's primary metrics — emerge from the
+   on-DIMM buffering.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.common import CACHELINE_SIZE, XPLINE_SIZE, fmt_size
+from repro.persist import PmHeap
+from repro.system import g1_machine
+
+
+def main() -> None:
+    machine = g1_machine()
+    core = machine.new_core()
+    heap = PmHeap(machine)
+
+    print("=== 1. A single persistent write ===")
+    addr = heap.pm.alloc_xpline()
+    core.store(addr, size=8)
+    cycles = core.persist(addr)  # clwb + sfence
+    print(f"store+persist of 8 bytes took {cycles:.0f} cycles")
+    counters = machine.pm_counters()
+    print(f"iMC write bytes: {counters.imc_write_bytes} (one 64B cacheline)")
+    print(f"media write bytes so far: {counters.media_write_bytes} "
+          "(0 — absorbed by the write-combining buffer)\n")
+
+    print("=== 2. Write amplification from partial writes ===")
+    # Write one cacheline in each of 256 XPLines (64 KB region):
+    # the 12 KB write buffer overflows and partial XPLines are written
+    # back via read-modify-write, 256 media bytes per 64 program bytes.
+    region = heap.pm.alloc(256 * XPLINE_SIZE, align=XPLINE_SIZE)
+    snapshot = machine.pm_counters().snapshot()
+    for pass_index in range(4):
+        for xpline in range(256):
+            core.nt_store(region + xpline * XPLINE_SIZE, CACHELINE_SIZE)
+    delta = machine.pm_counters().delta(snapshot)
+    print(f"program wrote {delta.imc_write_bytes} bytes "
+          f"({fmt_size(delta.imc_write_bytes)})")
+    print(f"media wrote   {delta.media_write_bytes} bytes "
+          f"→ write amplification {delta.write_amplification:.2f} "
+          "(theoretical max 4.0)\n")
+
+    print("=== 3. Read amplification and the read buffer ===")
+    # Read one cacheline per XPLine over 32 KB (misses the 16 KB read
+    # buffer between passes): every 64B read costs a 256B media read.
+    read_region = heap.pm.alloc(128 * XPLINE_SIZE, align=XPLINE_SIZE)
+    snapshot = machine.pm_counters().snapshot()
+    for pass_index in range(4):
+        for xpline in range(128):
+            line = read_region + xpline * XPLINE_SIZE
+            core.load(line, 8)
+            core.clflushopt(line)  # keep the CPU caches out of the picture
+    delta = machine.pm_counters().delta(snapshot)
+    print(f"read amplification: {delta.read_amplification:.2f} "
+          "(would be 4.0 with CPU prefetchers disabled; the stride-4 "
+          "pattern trains the streamer, whose prefetches keep part of "
+          "each XPLine reusable in the read buffer)")
+
+    print("\n=== 4. The asynchronous persist (read-after-persist) ===")
+    target = heap.pm.alloc_xpline()
+    core.store(target, 8)
+    core.clwb(target)
+    core.mfence()  # returns once the flush is *accepted*, not complete
+    rap_latency = core.load(target, 8)
+    far_addr = heap.pm.alloc_xpline()
+    core.load(far_addr, 8)
+    normal = core.load(far_addr, 8)
+    print(f"load right after persist: {rap_latency:.0f} cycles "
+          f"(vs {normal:.0f} for a cached line) — the paper's Figure 7 effect")
+
+
+if __name__ == "__main__":
+    main()

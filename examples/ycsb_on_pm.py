@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Run standard YCSB workloads against CCEH on simulated Optane vs DRAM.
+
+Exercises the full public stack — workload generator, data store,
+machine, telemetry — the way a storage-systems user would: pick a
+workload mix, run it, and read both performance and device-level
+amplification.
+
+Run:  python examples/ycsb_on_pm.py
+"""
+
+from repro.datastores.cceh import CcehHashTable
+from repro.persist import PmHeap
+from repro.system import g1_machine
+from repro.workloads import OpType, STANDARD_WORKLOADS, YcsbConfig, YcsbWorkload
+
+RECORDS = 60_000
+OPERATIONS = 15_000
+
+
+def run_workload(name: str, region: str) -> dict:
+    machine = g1_machine()
+    heap = PmHeap(machine)
+    allocator = heap.pm if region == "pm" else heap.dram
+    table = CcehHashTable(allocator)
+    workload = YcsbWorkload(
+        YcsbConfig(record_count=RECORDS, operation_count=OPERATIONS,
+                   spec=STANDARD_WORKLOADS[name])
+    )
+    for op in workload.load_phase():
+        table.insert(op.key, op.key)  # untimed load phase
+    core = machine.new_core()
+    counters = machine.counters(region)
+    snapshot = counters.snapshot()
+    start = core.now
+    for op in workload.run_phase():
+        if op.op is OpType.READ:
+            table.contains(op.key, core)
+        elif op.op in (OpType.UPDATE, OpType.INSERT):
+            table.insert(op.key, op.key, core)
+        elif op.op is OpType.READ_MODIFY_WRITE:
+            if table.contains(op.key, core):
+                table.insert(op.key, op.key + 1, core)
+        else:  # SCAN is not natural for a hash table; YCSB-E skipped
+            continue
+    elapsed = core.now - start
+    delta = machine.counters(region).delta(snapshot)
+    mops = OPERATIONS / (elapsed / (machine.config.frequency_ghz * 1e9)) / 1e6
+    return {
+        "cycles_per_op": elapsed / OPERATIONS,
+        "mops": mops,
+        "ra": delta.read_amplification,
+        "wa": delta.write_amplification,
+    }
+
+
+def main() -> None:
+    print(f"CCEH, {RECORDS} records, {OPERATIONS} ops per workload\n")
+    print(f"{'workload':>8}  {'memory':>6}  {'cyc/op':>8}  {'Mops/s':>7}  "
+          f"{'RA':>5}  {'WA':>5}")
+    for name in ("A", "B", "C", "F"):
+        for region in ("pm", "dram"):
+            result = run_workload(name, region)
+            print(f"{name:>8}  {region.upper():>6}  {result['cycles_per_op']:>8.0f}  "
+                  f"{result['mops']:>7.2f}  {result['ra']:>5.2f}  {result['wa']:>5.2f}")
+    print("\nNote the device-level asymmetry: on PM, read-heavy mixes pay")
+    print("256-byte media reads per random lookup (RA ~ 4) while update")
+    print("traffic is softened by the write-combining buffer (WA < 4).")
+
+
+if __name__ == "__main__":
+    main()

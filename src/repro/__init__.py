@@ -1,0 +1,26 @@
+"""repro — a simulation-based reproduction of
+"Characterizing the Performance of Intel Optane Persistent Memory:
+A Close Look at its On-DIMM Buffering" (EuroSys '22).
+
+The package builds a cycle-approximate discrete-event model of the
+whole memory hierarchy the paper measures — CPU caches + prefetchers,
+the iMC's pending queues and ADR domain, the DDR-T protocol's
+asynchronous writes, the on-DIMM read and write-combining buffers, the
+AIT cache and the 3D-XPoint media — and reruns every experiment of the
+paper against it.
+
+Quickstart::
+
+    from repro.system import g1_machine
+    from repro.persist import PmHeap
+
+    machine = g1_machine()
+    core = machine.new_core()
+    heap = PmHeap(machine)
+    addr = heap.pm.alloc_xpline()
+    core.store(addr, size=8)
+    core.persist(addr)           # clwb + sfence
+    print(machine.pm_counters().imc_write_bytes)
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,18 @@
+"""On-DIMM buffering: the read buffer and the write-combining buffer."""
+
+from repro.buffers.read_buffer import ReadBuffer, ReadBufferEntry
+from repro.buffers.write_buffer import (
+    WriteBuffer,
+    WriteBufferEntry,
+    WriteOutcome,
+    Writeback,
+)
+
+__all__ = [
+    "ReadBuffer",
+    "ReadBufferEntry",
+    "WriteBuffer",
+    "WriteBufferEntry",
+    "WriteOutcome",
+    "Writeback",
+]

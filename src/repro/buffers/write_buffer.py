@@ -1,0 +1,271 @@
+"""On-DIMM write-combining buffer (paper Section 3.2).
+
+Properties the paper infers, all modeled here:
+
+* **Capacity** between 12 KB (G1) and 16 KB (G2): write amplification
+  for partial writes stays at 0 until the working set exceeds the
+  capacity (Figure 3).
+* **Random eviction**: the buffer hit ratio decays *gracefully* past
+  capacity (Figure 4), unlike the read buffer's sharp FIFO step.
+* **Two write-back mechanisms on G1**: fully-modified XPLines are
+  written back periodically (~every 5000 cycles), while partially
+  modified XPLines are retained until evicted.  G2 disables periodic
+  write-back for full writes.
+* Evicting a *partially* modified XPLine needs an underfill media read
+  (read-modify-write) before the 256-byte media write; fully present
+  lines (fully written, or transitioned from the read buffer per
+  Section 3.3) skip the read.
+
+The buffer is pure state: it never touches the media itself.  It
+reports the work the DIMM front-end must schedule (evictions, due
+periodic write-backs) as value objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.constants import FULL_XPLINE_MASK, XPLINE_SIZE
+from repro.common.errors import ConfigError
+from repro.common.rng import DeterministicRng
+from repro.sim.clock import Cycles
+
+
+@dataclass
+class WriteBufferEntry:
+    """One buffered XPLine.
+
+    ``dirty_mask``: cacheline slots holding not-yet-persisted data.
+    ``present_mask``: slots whose data is available in the buffer
+    (dirty slots, plus clean slots carried over by a read-buffer
+    transition).  ``full_since`` is set when the line became fully
+    dirty — the periodic write-back timer.
+    """
+
+    dirty_mask: int = 0
+    present_mask: int = 0
+    full_since: Cycles | None = None
+
+    @property
+    def fully_dirty(self) -> bool:
+        """All four cacheline slots hold new data."""
+        return self.dirty_mask == FULL_XPLINE_MASK
+
+    @property
+    def fully_present(self) -> bool:
+        """Every slot's data is available (no underfill needed)."""
+        return self.present_mask == FULL_XPLINE_MASK
+
+    def mark_dirty(self, slot: int, now: Cycles) -> None:
+        """Record a write to ``slot``; starts the full-line timer."""
+        self.dirty_mask |= 1 << slot
+        self.present_mask |= 1 << slot
+        if self.fully_dirty and self.full_since is None:
+            self.full_since = now
+
+
+@dataclass(frozen=True)
+class Writeback:
+    """A media write the DIMM front-end must schedule."""
+
+    xpline: int
+    #: True if an underfill read is needed first (partial line).
+    needs_underfill_read: bool
+    #: Why the line left the buffer ("evict" or "periodic").
+    reason: str = "evict"
+
+
+@dataclass(frozen=True)
+class WriteOutcome:
+    """Result of ingesting one cacheline write."""
+
+    #: True if the write merged into an existing buffered XPLine.
+    hit: bool
+    #: True if the XPLine was adopted from the read buffer (§3.3).
+    transitioned: bool
+    #: Media work triggered by this ingest (evictions + due write-backs).
+    writebacks: tuple[Writeback, ...] = field(default=())
+
+
+class WriteBuffer:
+    """Random-eviction write-combining buffer of dirty XPLines."""
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        rng: DeterministicRng,
+        periodic_writeback: bool = True,
+        writeback_period: Cycles = 5000.0,
+        name: str = "write-buffer",
+        eviction: str = "random",
+    ) -> None:
+        if capacity_bytes < XPLINE_SIZE:
+            raise ConfigError(f"{name}: capacity {capacity_bytes} below one XPLine")
+        if writeback_period <= 0:
+            raise ConfigError(f"{name}: write-back period must be positive")
+        if eviction not in ("random", "fifo"):
+            raise ConfigError(f"{name}: unknown eviction policy {eviction!r}")
+        self.eviction = eviction
+        self.name = name
+        self.capacity_lines = capacity_bytes // XPLINE_SIZE
+        self.periodic_writeback = periodic_writeback
+        self.writeback_period = writeback_period
+        self._rng = rng
+        self._entries: dict[int, WriteBufferEntry] = {}
+        # Parallel key list enabling O(1) uniform-random victim choice.
+        self._keys: list[int] = []
+        self._key_pos: dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- key bookkeeping -------------------------------------------------
+
+    def _add_key(self, xpline: int) -> None:
+        self._key_pos[xpline] = len(self._keys)
+        self._keys.append(xpline)
+
+    def _remove_key(self, xpline: int) -> None:
+        pos = self._key_pos.pop(xpline)
+        last = self._keys.pop()
+        if last != xpline:
+            self._keys[pos] = last
+            self._key_pos[last] = pos
+
+    # -- queries ----------------------------------------------------------
+
+    def contains(self, xpline: int) -> bool:
+        """True if the XPLine has a buffered entry."""
+        return xpline in self._entries
+
+    def servable(self, xpline: int, slot: int) -> bool:
+        """True if a read of ``slot`` could be served from the buffer."""
+        entry = self._entries.get(xpline)
+        return entry is not None and bool(entry.present_mask & (1 << slot))
+
+    def entry(self, xpline: int) -> WriteBufferEntry | None:
+        """The entry for ``xpline`` (None if absent); for inspection."""
+        return self._entries.get(xpline)
+
+    def resident_xplines(self) -> list[int]:
+        """Buffered XPLine indexes (unordered)."""
+        return list(self._keys)
+
+    # -- mutation ---------------------------------------------------------
+
+    def write(self, now: Cycles, xpline: int, slot: int) -> WriteOutcome:
+        """Ingest one cacheline write into the buffer.
+
+        Returns whether it merged (hit) and which media write-backs the
+        DIMM must now schedule (due periodic write-backs first, then an
+        eviction if the install overflowed capacity).
+        """
+        writebacks = list(self._collect_periodic(now))
+        entry = self._entries.get(xpline)
+        if entry is not None:
+            if self.periodic_writeback and entry.fully_dirty:
+                # G1: a store to an already fully-dirty XPLine starts a
+                # new version; the completed old version drains to the
+                # media first.  This is what makes WA converge to 1 for
+                # 100% writes even at tiny working sets (Figure 3), and
+                # it back-pressures like an eviction — bounding
+                # sustained full-line write bandwidth at the media rate.
+                writebacks.append(self._pop(xpline, reason="rewrite"))
+                entry = WriteBufferEntry()
+                entry.mark_dirty(slot, now)
+                self._entries[xpline] = entry
+                self._add_key(xpline)
+                return WriteOutcome(hit=True, transitioned=False, writebacks=tuple(writebacks))
+            entry.mark_dirty(slot, now)
+            return WriteOutcome(hit=True, transitioned=False, writebacks=tuple(writebacks))
+
+        entry = WriteBufferEntry()
+        entry.mark_dirty(slot, now)
+        self._entries[xpline] = entry
+        self._add_key(xpline)
+        if len(self._entries) > self.capacity_lines:
+            writebacks.append(self._evict_random(exclude=xpline))
+        return WriteOutcome(hit=False, transitioned=False, writebacks=tuple(writebacks))
+
+    def fill_from_media(self, xpline: int) -> None:
+        """Complete a resident entry with media data (read-side RMW fill).
+
+        A read to a slot the buffer does not hold triggers one media
+        read; afterwards the whole XPLine is present and *all* slots
+        are servable — this is how reads "directly load data from the
+        write buffer" (§3.3), and a later eviction needs no underfill.
+        """
+        entry = self._entries[xpline]
+        entry.present_mask = FULL_XPLINE_MASK
+
+    def adopt_from_read_buffer(self, now: Cycles, xpline: int, slot: int) -> WriteOutcome:
+        """Install an XPLine handed over by the read buffer (§3.3).
+
+        The line arrives fully present (it was read from the media), so
+        the dirty slot is recorded but no underfill read will ever be
+        needed — this is how the transition avoids the expensive
+        read-modify-write.
+        """
+        writebacks = list(self._collect_periodic(now))
+        entry = WriteBufferEntry(present_mask=FULL_XPLINE_MASK)
+        entry.mark_dirty(slot, now)
+        self._entries[xpline] = entry
+        self._add_key(xpline)
+        if len(self._entries) > self.capacity_lines:
+            writebacks.append(self._evict_random(exclude=xpline))
+        return WriteOutcome(hit=False, transitioned=True, writebacks=tuple(writebacks))
+
+    def poll(self, now: Cycles) -> tuple[Writeback, ...]:
+        """Collect periodic write-backs that came due by ``now``.
+
+        Called by the DIMM front-end on reads and idle checks so that
+        fully-dirty lines drain even without further writes.
+        """
+        return tuple(self._collect_periodic(now))
+
+    def drain_all(self) -> tuple[Writeback, ...]:
+        """Flush every buffered line (simulated ADR power-fail drain)."""
+        out = []
+        for xpline in list(self._keys):
+            out.append(self._pop(xpline, reason="evict"))
+        return tuple(out)
+
+    # -- internals ---------------------------------------------------------
+
+    def _collect_periodic(self, now: Cycles) -> list[Writeback]:
+        if not self.periodic_writeback:
+            return []
+        due = [
+            xpline
+            for xpline, entry in self._entries.items()
+            if entry.full_since is not None and entry.full_since + self.writeback_period <= now
+        ]
+        return [self._pop(xpline, reason="periodic") for xpline in due]
+
+    def _evict_random(self, exclude: int) -> Writeback:
+        if self.eviction == "fifo":
+            # Ablation mode: oldest entry first (dict preserves
+            # insertion order).  Produces a hit-ratio cliff instead of
+            # Figure 4's graceful decay.
+            for victim in self._entries:
+                if victim != exclude or len(self._keys) == 1:
+                    return self._pop(victim, reason="evict")
+        while True:
+            victim = self._keys[self._rng.choice_index(len(self._keys))]
+            if victim != exclude or len(self._keys) == 1:
+                return self._pop(victim, reason="evict")
+
+    def _pop(self, xpline: int, reason: str) -> Writeback:
+        entry = self._entries.pop(xpline)
+        self._remove_key(xpline)
+        return Writeback(
+            xpline=xpline,
+            needs_underfill_read=not entry.fully_present,
+            reason=reason,
+        )
+
+    def clear(self) -> None:
+        """Drop everything without write-backs (test helper)."""
+        self._entries.clear()
+        self._keys.clear()
+        self._key_pos.clear()

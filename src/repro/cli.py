@@ -1,0 +1,167 @@
+"""Command-line runner: regenerate any of the paper's experiments.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig2 --generation 1
+    python -m repro run fig7 fig8 --profile full
+    python -m repro run all
+
+Mirrors the original artifact's ``run.py``: one command reruns an
+experiment and prints the series/rows the corresponding paper figure
+plots.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro.experiments import ablations, bandwidth, fig02, fig03, fig04, fig06, fig07, fig08
+from repro.experiments import fig10, fig12, fig13, fig14, interleaving, lock_handover, sec33, table1
+from repro.experiments.common import ExperimentReport
+
+
+def _as_reports(result) -> list[ExperimentReport]:
+    if isinstance(result, ExperimentReport):
+        return [result]
+    return list(result)
+
+
+def _run_fig02(generation: int, profile: str):
+    return [fig02.run(generation, profile)]
+
+
+def _run_fig03(generation: int, profile: str):
+    return [fig03.run(generation, profile)]
+
+
+def _run_fig04(generation: int, profile: str):
+    return [fig04.run(profile)]
+
+
+def _run_sec33(generation: int, profile: str):
+    return [sec33.as_report(sec33.run(generation, profile))]
+
+
+def _run_fig06(generation: int, profile: str):
+    return fig06.run(generation, profile)
+
+
+def _run_fig07(generation: int, profile: str):
+    return fig07.run(generation, profile)
+
+
+def _run_fig08(generation: int, profile: str):
+    return fig08.run(generation, profile)
+
+
+def _run_table1(generation: int, profile: str):
+    return [table1.as_report(table1.run(generation, profile), generation)]
+
+
+def _run_fig10(generation: int, profile: str):
+    return fig10.run(generation, profile)
+
+
+def _run_fig12(generation: int, profile: str):
+    return [fig12.run(generation, profile)]
+
+
+def _run_fig13(generation: int, profile: str):
+    return [fig13.run(generation, profile)]
+
+
+def _run_fig14(generation: int, profile: str):
+    return [fig14.run(generation, profile)]
+
+
+def _run_ablations(generation: int, profile: str):
+    return ablations.run_all()
+
+
+def _run_bandwidth(generation: int, profile: str):
+    return [bandwidth.run(generation, profile)]
+
+
+def _run_lock(generation: int, profile: str):
+    return [lock_handover.run(profile)]
+
+
+def _run_interleaving(generation: int, profile: str):
+    return [interleaving.run(generation, profile)]
+
+
+EXPERIMENTS: dict[str, tuple[str, Callable]] = {
+    "fig2": ("Figure 2 — read amplification (read buffer)", _run_fig02),
+    "fig3": ("Figure 3 — write amplification (write buffer)", _run_fig03),
+    "fig4": ("Figure 4 — write buffer hit ratio", _run_fig04),
+    "sec33": ("Section 3.3 — buffer separation & transition", _run_sec33),
+    "fig6": ("Figure 6 — prefetching into on-DIMM buffers", _run_fig06),
+    "fig7": ("Figure 7 — read-after-persist latency", _run_fig07),
+    "fig8": ("Figure 8 — latency across working-set sizes", _run_fig08),
+    "table1": ("Table 1 — CCEH insertion time breakdown", _run_table1),
+    "fig10": ("Figure 10 — CCEH helper-thread prefetching", _run_fig10),
+    "fig12": ("Figure 12 — B+-tree in-place vs redo logging", _run_fig12),
+    "fig13": ("Figure 13 — access redirection read ratios", _run_fig13),
+    "fig14": ("Figure 14 — redirection thread-scaling tradeoff", _run_fig14),
+    "ablations": ("Ablations of inferred design choices", _run_ablations),
+    "bandwidth": ("§2.2 — device bandwidth characterization", _run_bandwidth),
+    "lock": ("§3.5 — persistent lock handover latency", _run_lock),
+    "interleave": ("§2.4 — 1 vs 6 interleaved DIMMs", _run_interleaving),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the `repro` argument parser (list / run subcommands)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Rerun the EuroSys'22 Optane buffering experiments in simulation.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run = sub.add_parser("run", help="run one or more experiments")
+    run.add_argument("experiments", nargs="+", help="experiment ids or 'all'")
+    run.add_argument("--generation", "-g", type=int, default=1, choices=(1, 2))
+    run.add_argument("--profile", "-p", default="fast", choices=("fast", "full"))
+    run.add_argument(
+        "--chart", action="store_true", help="render ASCII charts alongside the tables"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        width = max(len(name) for name in EXPERIMENTS)
+        for name, (description, _) in EXPERIMENTS.items():
+            print(f"{name.ljust(width)}  {description}")
+        return 0
+
+    names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for name in names:
+        description, runner = EXPERIMENTS[name]
+        print(f"### {description} (G{args.generation}, {args.profile} profile)")
+        started = time.time()
+        for report in _as_reports(runner(args.generation, args.profile)):
+            print(report.render())
+            if getattr(args, "chart", False):
+                from repro.experiments.plotting import chart
+
+                print()
+                print(chart(report))
+            print()
+        print(f"[{name} done in {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,62 @@
+"""Architectural constants shared across the whole simulator.
+
+The two load-bearing numbers of the paper are the CPU cacheline size
+(64 bytes — the granularity at which the processor and the iMC move
+data) and the 3D-XPoint media access granularity (256 bytes — one
+*XPLine*).  Their mismatch is the root cause of read and write
+amplification (paper, Section 2.1).
+"""
+
+from __future__ import annotations
+
+#: CPU cacheline size in bytes.  Loads, stores, clwb/clflush and the
+#: DDR-T protocol all operate at this granularity.
+CACHELINE_SIZE = 64
+
+#: 3D-XPoint media access granularity in bytes (an "XPLine").  Every
+#: physical media read or write moves a whole XPLine.
+XPLINE_SIZE = 256
+
+#: Number of cachelines per XPLine (= 4).  RA/WA are bounded by this.
+CACHELINES_PER_XPLINE = XPLINE_SIZE // CACHELINE_SIZE
+
+#: Upper bound of read/write amplification (paper, Section 2.4).
+MAX_AMPLIFICATION = float(CACHELINES_PER_XPLINE)
+
+#: Bitmask with one bit per cacheline of an XPLine, all set.
+FULL_XPLINE_MASK = (1 << CACHELINES_PER_XPLINE) - 1
+
+
+def cacheline_index(addr: int) -> int:
+    """Return the global cacheline index containing byte address ``addr``."""
+    return addr // CACHELINE_SIZE
+
+
+def cacheline_base(addr: int) -> int:
+    """Return the base byte address of the cacheline containing ``addr``."""
+    return addr & ~(CACHELINE_SIZE - 1)
+
+
+def xpline_index(addr: int) -> int:
+    """Return the global XPLine index containing byte address ``addr``."""
+    return addr // XPLINE_SIZE
+
+
+def xpline_base(addr: int) -> int:
+    """Return the base byte address of the XPLine containing ``addr``."""
+    return addr & ~(XPLINE_SIZE - 1)
+
+
+def cacheline_slot_in_xpline(addr: int) -> int:
+    """Return which of the 4 cacheline slots of its XPLine ``addr`` is in."""
+    return (addr % XPLINE_SIZE) // CACHELINE_SIZE
+
+
+def is_cacheline_aligned(addr: int) -> bool:
+    """True if ``addr`` is 64-byte aligned."""
+    return addr % CACHELINE_SIZE == 0
+
+
+def is_xpline_aligned(addr: int) -> bool:
+    """True if ``addr`` is 256-byte aligned."""
+    return addr % XPLINE_SIZE == 0

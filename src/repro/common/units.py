@@ -1,0 +1,66 @@
+"""Size and frequency unit helpers.
+
+All sizes in the simulator are plain integers in bytes; these helpers
+exist so that configuration code reads like the paper ("16 KB write
+buffer", "27.5 MB L3", "128 GB DIMM").
+"""
+
+from __future__ import annotations
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+
+def kib(n: float) -> int:
+    """``n`` kibibytes as an integer byte count."""
+    return int(n * KIB)
+
+
+def mib(n: float) -> int:
+    """``n`` mebibytes as an integer byte count."""
+    return int(n * MIB)
+
+
+def gib(n: float) -> int:
+    """``n`` gibibytes as an integer byte count."""
+    return int(n * GIB)
+
+
+def fmt_size(nbytes: float) -> str:
+    """Render a byte count the way the paper's axes do (4KB, 256KB, 16MB, 1GB)."""
+    if nbytes >= GIB:
+        value, suffix = nbytes / GIB, "GB"
+    elif nbytes >= MIB:
+        value, suffix = nbytes / MIB, "MB"
+    elif nbytes >= KIB:
+        value, suffix = nbytes / KIB, "KB"
+    else:
+        return f"{int(nbytes)}B"
+    if value == int(value):
+        return f"{int(value)}{suffix}"
+    return f"{value:.1f}{suffix}"
+
+
+def parse_size(text: str) -> int:
+    """Parse ``"16KB"``-style strings back into byte counts.
+
+    Accepts an optional ``B`` suffix and is case-insensitive, so
+    ``16k``, ``16KB``, ``16KiB`` all mean 16384 bytes.
+    """
+    s = text.strip().lower().replace("ib", "b")
+    multiplier = 1
+    for suffix, factor in (("gb", GIB), ("mb", MIB), ("kb", KIB), ("b", 1)):
+        if s.endswith(suffix):
+            s = s[: -len(suffix)]
+            multiplier = factor
+            break
+    else:
+        for suffix, factor in (("g", GIB), ("m", MIB), ("k", KIB)):
+            if s.endswith(suffix):
+                s = s[: -len(suffix)]
+                multiplier = factor
+                break
+    if not s:
+        raise ValueError(f"no numeric part in size string: {text!r}")
+    return int(float(s) * multiplier)

@@ -1,0 +1,42 @@
+"""The paper's primary contribution: microbenchmarks that infer the
+on-DIMM buffering design, the read/write decoupling analysis, and the
+three optimization techniques (helper-thread prefetch, out-of-place
+redo logging, XPLine access redirection)."""
+
+from repro.core.analysis import InstrumentedCore, read_write_summary
+from repro.core.helper import HelperConfig, HelperThread
+from repro.core.inference import (
+    DeviceProfile,
+    RapProfile,
+    characterize,
+    infer_periodic_writeback,
+    infer_read_buffer_capacity,
+    infer_write_buffer_capacity,
+    infer_write_buffer_eviction,
+    profile_rap,
+    quiet_factory,
+)
+from repro.core.redirection import RedirectionBuffer, redirect_block, writeback_block
+from repro.core.trace_helper import ExtractedTrace, RecordingCore, extract_lookup_trace
+
+__all__ = [
+    "InstrumentedCore",
+    "read_write_summary",
+    "HelperConfig",
+    "HelperThread",
+    "RedirectionBuffer",
+    "redirect_block",
+    "writeback_block",
+    "ExtractedTrace",
+    "RecordingCore",
+    "extract_lookup_trace",
+    "DeviceProfile",
+    "RapProfile",
+    "characterize",
+    "infer_periodic_writeback",
+    "infer_read_buffer_capacity",
+    "infer_write_buffer_capacity",
+    "infer_write_buffer_eviction",
+    "profile_rap",
+    "quiet_factory",
+]

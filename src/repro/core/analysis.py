@@ -1,0 +1,140 @@
+"""Read/write decoupling analysis (the paper's central proposition).
+
+The paper argues performance work on persistent programs should
+*decouple* reads from writes: loads from the media are synchronous and
+expensive; persists are asynchronous with flat latency; fences gate on
+acceptance only.  :class:`InstrumentedCore` makes that decomposition
+measurable for any workload written against the Core API: every
+operation's cycles are charged to a named bucket, optionally scoped to
+a phase label (how Table 1's "segment metadata vs persists vs misc"
+columns are produced).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.stats.latency import TimeBreakdown
+from repro.system.machine import Core
+
+
+class InstrumentedCore:
+    """A Core proxy that attributes every cycle to a breakdown bucket.
+
+    Buckets default to the operation kind (``load``, ``store``,
+    ``flush``, ``fence``, ``nt_store``, ``stream_load``, ``compute``);
+    inside a ``with instrumented.phase("segment-metadata"):`` block the
+    phase label is used instead, so data structures can mark their
+    semantically interesting regions.
+    """
+
+    def __init__(self, core: Core) -> None:
+        self.core = core
+        self.breakdown = TimeBreakdown()
+        self._phase: str | None = None
+
+    @property
+    def now(self) -> float:
+        return self.core.now
+
+    @contextmanager
+    def phase(self, label: str):
+        """Attribute cycles spent inside the block to ``label``."""
+        previous = self._phase
+        self._phase = label
+        try:
+            yield self
+        finally:
+            self._phase = previous
+
+    def _charge(self, default_bucket: str, cycles: float) -> None:
+        self.breakdown.charge(self._phase or default_bucket, cycles)
+
+    # -- proxied operations -------------------------------------------------
+
+    def load(self, addr: int, size: int = 8) -> float:
+        cycles = self.core.load(addr, size)
+        self._charge("load", cycles)
+        return cycles
+
+    def store(self, addr: int, size: int = 8) -> float:
+        cycles = self.core.store(addr, size)
+        self._charge("store", cycles)
+        return cycles
+
+    def nt_store(self, addr: int, size: int = 64) -> float:
+        cycles = self.core.nt_store(addr, size)
+        self._charge("nt_store", cycles)
+        return cycles
+
+    def stream_load(self, addr: int, size: int = 64) -> float:
+        cycles = self.core.stream_load(addr, size)
+        self._charge("stream_load", cycles)
+        return cycles
+
+    def clwb(self, addr: int, size: int = 64) -> float:
+        cycles = self.core.clwb(addr, size)
+        self._charge("flush", cycles)
+        return cycles
+
+    def clflushopt(self, addr: int, size: int = 64) -> float:
+        cycles = self.core.clflushopt(addr, size)
+        self._charge("flush", cycles)
+        return cycles
+
+    def clflush(self, addr: int, size: int = 64) -> float:
+        cycles = self.core.clflush(addr, size)
+        self._charge("flush", cycles)
+        return cycles
+
+    def sfence(self) -> float:
+        cycles = self.core.sfence()
+        self._charge("fence", cycles)
+        return cycles
+
+    def mfence(self) -> float:
+        cycles = self.core.mfence()
+        self._charge("fence", cycles)
+        return cycles
+
+    def fence(self, kind: str = "sfence") -> float:
+        cycles = self.core.fence(kind)
+        self._charge("fence", cycles)
+        return cycles
+
+    def persist(self, addr: int, size: int = 64, fence: str = "sfence") -> float:
+        start = self.core.now
+        self.core.clwb(addr, size)
+        self.core.fence(fence)
+        cycles = self.core.now - start
+        self._charge("persist", cycles)
+        return cycles
+
+    def tick(self, cycles: float) -> None:
+        self.core.tick(cycles)
+        self._charge("compute", cycles)
+
+
+def read_write_summary(breakdown: TimeBreakdown) -> dict[str, float]:
+    """Fold fine-grained buckets into the paper's read/write/order view.
+
+    * ``read``  — synchronous data loads (load, stream_load),
+    * ``write`` — stores and nt-stores,
+    * ``order`` — flushes, fences and persist barriers,
+    * ``other`` — everything else (compute, custom phases).
+    """
+    mapping = {
+        "load": "read",
+        "stream_load": "read",
+        "store": "write",
+        "nt_store": "write",
+        "flush": "order",
+        "fence": "order",
+        "persist": "order",
+    }
+    folded = breakdown.merged(mapping)
+    fractions = folded.fractions()
+    out = {"read": 0.0, "write": 0.0, "order": 0.0, "other": 0.0}
+    for name, value in fractions.items():
+        out[name if name in out else "other"] += value
+    return out

@@ -1,0 +1,191 @@
+"""Black-box inference of on-DIMM parameters — the paper's methodology
+as a reusable library.
+
+The paper never opens the DIMM: it *infers* the internal design from
+telemetry signatures (RA steps, WA departures, hit-ratio slopes, RAP
+stalls).  This module packages those inferences as functions that take
+a machine *factory* (so each probe point runs on a pristine device)
+and return the deduced parameter — the same way one would characterize
+an unknown PM device.  Tests validate them against ablated
+configurations: feed a simulator with a 24 KB LRU read buffer and the
+probes report exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.cache.prefetch import PrefetcherConfig
+from repro.common.constants import CACHELINE_SIZE, XPLINE_SIZE
+from repro.common.units import kib
+from repro.core.microbench.strided_read import run_strided_read
+from repro.core.microbench.write_amp import run_write_amplification
+from repro.system.machine import Machine
+
+MachineFactory = Callable[[], Machine]
+
+
+def infer_read_buffer_capacity(
+    factory: MachineFactory,
+    lo: int = kib(2),
+    hi: int = kib(64),
+    resolution: int = kib(1),
+) -> int:
+    """Deduce the read-buffer capacity from the Figure 2 RA step.
+
+    Binary-searches the largest working set whose CpX=4 strided read
+    still shows RA ≈ 1 (every grid point past the capacity jumps to 4
+    under FIFO eviction).  Returns the capacity rounded to
+    ``resolution``.
+    """
+    def fits(wss: int) -> bool:
+        result = run_strided_read(factory(), wss, cachelines_per_xpline=4, cycles_over_region=4)
+        return result.read_amplification < 2.0
+
+    if not fits(lo):
+        return 0
+    low, high = lo, hi
+    while high - low > resolution:
+        mid = (low + high) // 2 // resolution * resolution
+        if mid <= low:
+            break
+        if fits(mid):
+            low = mid
+        else:
+            high = mid
+    return low
+
+
+def infer_write_buffer_capacity(
+    factory: MachineFactory,
+    lo: int = kib(2),
+    hi: int = kib(64),
+    resolution: int = kib(1),
+) -> int:
+    """Deduce the write-buffer capacity from the Figure 3 WA departure.
+
+    The largest working set for which 25% partial writes still show
+    WA ≈ 0 (fully absorbed).
+    """
+    def fits(wss: int) -> bool:
+        result = run_write_amplification(factory(), wss, written_cachelines=1, passes=6)
+        return result.write_amplification < 0.05
+
+    if not fits(lo):
+        return 0
+    low, high = lo, hi
+    while high - low > resolution:
+        mid = (low + high) // 2 // resolution * resolution
+        if mid <= low:
+            break
+        if fits(mid):
+            low = mid
+        else:
+            high = mid
+    return low
+
+
+def infer_write_buffer_eviction(factory: MachineFactory, overshoot: float = 1.5) -> str:
+    """Classify the eviction policy from the Figure 4 decay shape.
+
+    Cyclic sequential partial writes at ~1.5x capacity: FIFO evicts
+    every line right before reuse (hit ratio ~0), random eviction keeps
+    a healthy share of survivors.  Returns "fifo" or "random".
+    """
+    capacity = infer_write_buffer_capacity(factory)
+    machine = factory()
+    core = machine.new_core()
+    base = machine.region_spec("pm").base
+    n_xplines = max(int(capacity * overshoot) // XPLINE_SIZE, 2)
+    snapshot = machine.pm_counters().snapshot()
+    for _ in range(8):
+        for index in range(n_xplines):
+            core.nt_store(base + index * XPLINE_SIZE, CACHELINE_SIZE)
+    delta = machine.pm_counters().delta(snapshot)
+    return "fifo" if delta.write_buffer_hit_ratio < 0.02 else "random"
+
+
+def infer_periodic_writeback(factory: MachineFactory) -> bool:
+    """Detect G1-style periodic write-back of fully dirty XPLines.
+
+    Full (100%) writes over a tiny working set: WA ≈ 1 means every
+    completed XPLine drained to the media; WA ≈ 0 means it was
+    coalesced in the buffer (the G2 design).
+    """
+    result = run_write_amplification(factory(), kib(4), written_cachelines=4, passes=8)
+    return result.write_amplification > 0.5
+
+
+@dataclass(frozen=True)
+class RapProfile:
+    """Summary of the device's read-after-persist behaviour."""
+
+    peak_cycles: float
+    settled_cycles: float
+
+    @property
+    def ratio(self) -> float:
+        """Peak over settled latency."""
+        return self.peak_cycles / self.settled_cycles if self.settled_cycles else 0.0
+
+    @property
+    def suffers_rap(self) -> bool:
+        """True when reading a just-persisted line costs >= 3x settled."""
+        return self.ratio >= 3.0
+
+
+def profile_rap(factory: MachineFactory, flush: str = "clwb") -> RapProfile:
+    """Measure the Algorithm-1 peak (distance 0) vs settled (distance 32)."""
+    from repro.core.microbench.rap import run_rap_iterations
+    from repro.persist.persistency import FenceKind, FlushKind
+
+    kind = FlushKind.CLWB if flush == "clwb" else FlushKind.NT_STORE
+    peak = run_rap_iterations(factory(), "pm", kind, FenceKind.MFENCE, 0, passes=12)
+    settled = run_rap_iterations(factory(), "pm", kind, FenceKind.MFENCE, 32, passes=12)
+    return RapProfile(peak_cycles=peak, settled_cycles=settled)
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Everything the black-box probes can tell about a PM device."""
+
+    read_buffer_bytes: int
+    write_buffer_bytes: int
+    write_buffer_eviction: str
+    periodic_writeback: bool
+    rap: RapProfile
+
+    def describe(self) -> str:
+        """Human-readable multi-line summary of the probe results."""
+        lines = [
+            f"read buffer   : ~{self.read_buffer_bytes // 1024} KB",
+            f"write buffer  : ~{self.write_buffer_bytes // 1024} KB, "
+            f"{self.write_buffer_eviction} eviction",
+            f"full-line write-back: {'periodic' if self.periodic_writeback else 'none'}",
+            f"read-after-persist  : peak {self.rap.peak_cycles:.0f} vs settled "
+            f"{self.rap.settled_cycles:.0f} cycles "
+            f"({'suffers RAP' if self.rap.suffers_rap else 'no RAP issue'})",
+        ]
+        return "\n".join(lines)
+
+
+def characterize(factory: MachineFactory) -> DeviceProfile:
+    """Run the full probe battery against an unknown device."""
+    return DeviceProfile(
+        read_buffer_bytes=infer_read_buffer_capacity(factory),
+        write_buffer_bytes=infer_write_buffer_capacity(factory),
+        write_buffer_eviction=infer_write_buffer_eviction(factory),
+        periodic_writeback=infer_periodic_writeback(factory),
+        rap=profile_rap(factory),
+    )
+
+
+def quiet_factory(generation: int, **overrides) -> MachineFactory:
+    """Factory for a prefetcher-less preset machine (probe hygiene)."""
+    from repro.system.presets import machine_for
+
+    def build() -> Machine:
+        return machine_for(generation, prefetchers=PrefetcherConfig.none(), **overrides)
+
+    return build

@@ -1,0 +1,59 @@
+"""The paper's Section 3 microbenchmark kernels."""
+
+from repro.core.microbench.interleave import (
+    SeparationResult,
+    TransitionResult,
+    run_separation_probe,
+    run_transition_probe,
+)
+from repro.core.microbench.pointer_chase import ChaseResult, PointerChaseBench
+from repro.core.microbench.prefetch_probe import PrefetchProbeResult, run_prefetch_probe
+from repro.core.microbench.rap import (
+    FIGURE7_PANELS,
+    RapCurve,
+    RapPoint,
+    figure7_curves,
+    rap_curve,
+    run_rap_iterations,
+)
+from repro.core.microbench.strided_read import (
+    StridedReadResult,
+    default_wss_points,
+    run_strided_read,
+    strided_read_sweep,
+)
+from repro.core.microbench.write_amp import (
+    WriteAmplificationResult,
+    WriteHitResult,
+    run_write_amplification,
+    run_write_hit_ratio,
+    write_amplification_sweep,
+    write_hit_sweep,
+)
+
+__all__ = [
+    "SeparationResult",
+    "TransitionResult",
+    "run_separation_probe",
+    "run_transition_probe",
+    "ChaseResult",
+    "PointerChaseBench",
+    "PrefetchProbeResult",
+    "run_prefetch_probe",
+    "FIGURE7_PANELS",
+    "RapCurve",
+    "RapPoint",
+    "figure7_curves",
+    "rap_curve",
+    "run_rap_iterations",
+    "StridedReadResult",
+    "default_wss_points",
+    "run_strided_read",
+    "strided_read_sweep",
+    "WriteAmplificationResult",
+    "WriteHitResult",
+    "run_write_amplification",
+    "run_write_hit_ratio",
+    "write_amplification_sweep",
+    "write_hit_sweep",
+]

@@ -1,0 +1,157 @@
+"""Read-after-persist latency probe (paper Section 3.5, Algorithm 1).
+
+The kernel is a line-for-line transcription of the paper's Algorithm 1:
+walk a small (4 KB) region cacheline by cacheline; at each step persist
+the current line (store+clwb or nt-store, then a fence) and immediately
+load the line ``distance`` cachelines *behind* the persist cursor.  The
+average per-iteration latency as a function of distance exposes how
+long flushes remain incomplete after the fence returned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.prefetch import PrefetcherConfig
+from repro.common.constants import CACHELINE_SIZE
+from repro.common.units import kib
+from repro.persist.persistency import FenceKind, FlushKind
+from repro.system.machine import Machine
+from repro.system.presets import machine_for
+
+
+@dataclass(frozen=True)
+class RapPoint:
+    """Average per-iteration cycles at one RAP distance."""
+
+    distance: int
+    cycles_per_iteration: float
+
+
+@dataclass(frozen=True)
+class RapCurve:
+    """One configuration's latency-vs-distance curve."""
+
+    generation: int
+    region: str
+    flush: FlushKind
+    fence: FenceKind
+    points: tuple[RapPoint, ...]
+
+    @property
+    def label(self) -> str:
+        """Legend label as the paper prints it."""
+        memory = "PM" if self.region.startswith("pm") else "DRAM"
+        locality = "remote" if self.region.endswith("remote") else "local"
+        return f"{locality} {memory} {self.flush.value}+{self.fence.value}"
+
+    def at(self, distance: int) -> float:
+        """Cycles/iteration at ``distance`` (KeyError if not measured)."""
+        for point in self.points:
+            if point.distance == distance:
+                return point.cycles_per_iteration
+        raise KeyError(distance)
+
+
+def run_rap_iterations(
+    machine: Machine,
+    region: str,
+    flush: FlushKind,
+    fence: FenceKind,
+    distance: int,
+    wss: int = kib(4),
+    passes: int = 40,
+) -> float:
+    """Algorithm 1 at one distance; returns avg cycles per iteration."""
+    core = machine.new_core()
+    base = machine.region_spec(region).base
+    n_lines = wss // CACHELINE_SIZE
+    iterations = 0
+    start = core.now
+    for _ in range(passes):
+        for offset in range(n_lines):
+            addr = base + offset * CACHELINE_SIZE
+            if flush is FlushKind.NT_STORE:
+                core.nt_store(addr, CACHELINE_SIZE)
+            else:
+                core.store(addr, 8)
+                if flush is FlushKind.CLWB:
+                    core.clwb(addr)
+                else:
+                    core.clflushopt(addr)
+            core.fence(fence.value)
+            read_offset = (offset + n_lines - distance) % n_lines
+            core.load(base + read_offset * CACHELINE_SIZE, 8)
+            iterations += 1
+    return (core.now - start) / iterations
+
+
+def rap_curve(
+    generation: int,
+    region: str,
+    flush: FlushKind,
+    fence: FenceKind,
+    distances: tuple[int, ...] = (0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 40),
+    wss: int = kib(4),
+    passes: int = 40,
+) -> RapCurve:
+    """Measure one full curve, fresh machine per distance point."""
+    points = []
+    for distance in distances:
+        machine = machine_for(
+            generation,
+            prefetchers=PrefetcherConfig.none(),
+            remote_pm=True,
+            remote_dram=True,
+        )
+        cycles = run_rap_iterations(machine, region, flush, fence, distance, wss, passes)
+        points.append(RapPoint(distance, cycles))
+    return RapCurve(generation, region, flush, fence, tuple(points))
+
+
+#: The eight panels of Figure 7: (region, [(flush, fence), ...]).
+FIGURE7_PANELS: tuple[tuple[str, tuple[tuple[FlushKind, FenceKind], ...]], ...] = (
+    (
+        "pm",
+        (
+            (FlushKind.CLWB, FenceKind.MFENCE),
+            (FlushKind.CLWB, FenceKind.SFENCE),
+            (FlushKind.NT_STORE, FenceKind.MFENCE),
+        ),
+    ),
+    (
+        "dram",
+        (
+            (FlushKind.CLWB, FenceKind.MFENCE),
+            (FlushKind.CLWB, FenceKind.SFENCE),
+        ),
+    ),
+    (
+        "pm_remote",
+        (
+            (FlushKind.CLWB, FenceKind.MFENCE),
+            (FlushKind.CLWB, FenceKind.SFENCE),
+            (FlushKind.NT_STORE, FenceKind.MFENCE),
+        ),
+    ),
+    (
+        "dram_remote",
+        (
+            (FlushKind.CLWB, FenceKind.MFENCE),
+            (FlushKind.CLWB, FenceKind.SFENCE),
+        ),
+    ),
+)
+
+
+def figure7_curves(
+    generation: int,
+    distances: tuple[int, ...] = (0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 40),
+    passes: int = 30,
+) -> list[RapCurve]:
+    """All curves of one Figure 7 row (one generation)."""
+    curves = []
+    for region, combos in FIGURE7_PANELS:
+        for flush, fence in combos:
+            curves.append(rap_curve(generation, region, flush, fence, distances, passes=passes))
+    return curves

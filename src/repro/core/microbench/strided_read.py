@@ -1,0 +1,84 @@
+"""Read-buffer probe: strided reads with per-XPLine cacheline counts.
+
+Reproduces the paper's Section 3.1 benchmark (Figure 1 pattern,
+Figure 2 results): read CpX cachelines from every XPLine of a region,
+one pass per cacheline slot, invalidating each line with clflushopt
+right after the read so every access is served by the DIMM.  Read
+amplification then reveals the read buffer's capacity (where RA jumps
+to 4) and its exclusivity (RA never below 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.prefetch import PrefetcherConfig
+from repro.common.constants import XPLINE_SIZE
+from repro.system.machine import Machine
+from repro.system.presets import machine_for
+from repro.workloads.patterns import strided_read_addresses
+
+
+@dataclass(frozen=True)
+class StridedReadResult:
+    """One (WSS, CpX) measurement."""
+
+    wss: int
+    cachelines_per_xpline: int
+    read_amplification: float
+    buffer_hit_ratio: float
+
+
+def run_strided_read(
+    machine: Machine,
+    wss: int,
+    cachelines_per_xpline: int,
+    cycles_over_region: int = 6,
+    region: str = "pm",
+) -> StridedReadResult:
+    """Run the strided-read kernel on an existing machine.
+
+    ``cycles_over_region`` repeats the full CpX-pass pattern to reach
+    steady state; the first cycle warms the buffer and is included
+    (its effect washes out, matching the paper's long-running loops).
+    """
+    core = machine.new_core()
+    base = machine.region_spec(region).base
+    counters = machine.counters(region)
+    snapshot = counters.snapshot()
+    for _ in range(cycles_over_region):
+        for addr in strided_read_addresses(base, wss, cachelines_per_xpline):
+            core.load(addr, 8)
+            core.clflushopt(addr)
+    delta = machine.counters(region).delta(snapshot)
+    return StridedReadResult(
+        wss=wss,
+        cachelines_per_xpline=cachelines_per_xpline,
+        read_amplification=delta.read_amplification,
+        buffer_hit_ratio=delta.read_buffer_hit_ratio,
+    )
+
+
+def strided_read_sweep(
+    generation: int,
+    wss_points: list[int],
+    cpx_values: tuple[int, ...] = (1, 2, 3, 4),
+    cycles_over_region: int = 6,
+) -> list[StridedReadResult]:
+    """Full Figure 2 sweep: fresh machine per point, prefetchers off.
+
+    Prefetchers are disabled because the probe measures the *DIMM's*
+    buffering; the paper's testbeds toggle CPU prefetchers via BIOS
+    for exactly this reason.
+    """
+    results = []
+    for cpx in cpx_values:
+        for wss in wss_points:
+            machine = machine_for(generation, prefetchers=PrefetcherConfig.none())
+            results.append(run_strided_read(machine, wss, cpx, cycles_over_region))
+    return results
+
+
+def default_wss_points(max_kib: int = 36, step_kib: int = 2) -> list[int]:
+    """The paper's Figure 2 x-axis: 2 KB .. 36 KB."""
+    return [k * 1024 for k in range(step_kib, max_kib + 1, step_kib) if k * 1024 >= XPLINE_SIZE]

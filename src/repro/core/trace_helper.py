@@ -1,0 +1,105 @@
+"""Automatic helper-thread construction (the paper's §4.1 future work).
+
+The paper builds its CCEH helper thread *manually*, "retaining data
+loads and instructions necessary for indexing", and leaves automatic
+construction "using compiler techniques" as future work.  This module
+implements the dynamic-analysis equivalent: record the loads a worker
+operation performs on a shadow (zero-cost) run, then replay exactly
+those loads as the helper's trace.
+
+The extraction is sound by construction — the helper touches precisely
+the addresses the worker will touch (100% accuracy, like the paper's
+hand-built helper) — as long as the operation's address stream is
+deterministic in its input, which holds for index lookups/inserts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, TypeVar
+
+from repro.datastores.base import NullCore
+from repro.system.machine import Core
+
+WorkItem = TypeVar("WorkItem")
+
+
+class RecordingCore(NullCore):
+    """A zero-cost core that records the addresses of loads.
+
+    Stores, flushes and fences are swallowed (they must not run ahead
+    of the worker), matching the paper's rule for building the helper.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.load_trace: list[tuple[int, int]] = []
+
+    def load(self, addr: int, size: int = 8) -> float:
+        self.load_trace.append((addr, size))
+        return 0.0
+
+    def stream_load(self, addr: int, size: int = 64) -> float:
+        self.load_trace.append((addr, size))
+        return 0.0
+
+
+class ExtractedTrace(Generic[WorkItem]):
+    """A load-only trace function extracted from a worker operation.
+
+    Wraps ``operation(core, item)``: on each call it shadow-runs the
+    operation with a :class:`RecordingCore` (mutation-free operations
+    only — use :func:`extract_lookup_trace` for a safe wrapper) and
+    replays the recorded loads on the helper core.
+
+    For operations that *mutate* state (inserts), shadow-running would
+    perturb the structure; :class:`ExtractedTrace` therefore accepts a
+    ``probe`` — a read-only stand-in with the same indexing loads
+    (e.g. a lookup for the key about to be inserted), which is exactly
+    what the paper's helper does: it "speculatively visits the
+    directory entries, segments, and buckets for key-value pairs that
+    have not yet been inserted".
+    """
+
+    def __init__(self, probe: Callable[[RecordingCore, WorkItem], None], prefix_loads: int | None = None) -> None:
+        self._probe = probe
+        self._prefix_loads = prefix_loads
+        self.extracted_items = 0
+        self.replayed_loads = 0
+
+    def __call__(self, helper_core: Core, item: WorkItem) -> None:
+        recorder = RecordingCore()
+        try:
+            self._probe(recorder, item)
+        except Exception:
+            # A probe miss (e.g. key not present) still recorded the
+            # indexing loads up to the failure point — replay those.
+            pass
+        self.extracted_items += 1
+        trace = recorder.load_trace
+        if self._prefix_loads is not None:
+            trace = trace[: self._prefix_loads]
+        for addr, size in trace:
+            helper_core.load(addr, size)
+            self.replayed_loads += 1
+
+
+def extract_lookup_trace(store, prefix_loads: int | None = None) -> ExtractedTrace:
+    """Build an ExtractedTrace from a data store's ``get``-style probe.
+
+    Works for any store exposing ``get(key, core)`` or
+    ``contains(key, core)``; lookup shares the indexing loads with
+    insertion, which is all the helper needs.
+    """
+    if hasattr(store, "contains"):
+
+        def probe(core: RecordingCore, key) -> None:
+            store.contains(key, core)
+
+    elif hasattr(store, "get"):
+
+        def probe(core: RecordingCore, key) -> None:
+            store.get(key, core)
+
+    else:
+        raise TypeError(f"{type(store).__name__} has neither contains() nor get()")
+    return ExtractedTrace(probe, prefix_loads=prefix_loads)

@@ -1,0 +1,14 @@
+"""Persistent data stores used by the paper's case studies."""
+
+from repro.datastores.base import CoreLike, NullCore
+from repro.datastores.btree import FastFairTree
+from repro.datastores.cceh import CcehHashTable
+from repro.datastores.linkedlist import PersistentLinkedList
+
+__all__ = [
+    "CoreLike",
+    "NullCore",
+    "FastFairTree",
+    "CcehHashTable",
+    "PersistentLinkedList",
+]

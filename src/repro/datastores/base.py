@@ -1,0 +1,74 @@
+"""Shared plumbing for the persistent data stores.
+
+The case studies need tables/trees far larger than the CPU caches
+(otherwise the random reads the paper studies would be cache hits).
+Building a 30+ MB structure through the timed simulation would
+dominate experiment runtime, so stores accept any object implementing
+the :class:`CoreLike` protocol and population uses :class:`NullCore`,
+which mutates structure state at zero simulated cost.  Measured phases
+then run with a real :class:`~repro.system.machine.Core`.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+
+class CoreLike(Protocol):
+    """The slice of the Core API data stores consume."""
+
+    now: float
+
+    def load(self, addr: int, size: int = 8) -> float: ...  # pragma: no cover
+
+    def store(self, addr: int, size: int = 8) -> float: ...  # pragma: no cover
+
+    def nt_store(self, addr: int, size: int = 64) -> float: ...  # pragma: no cover
+
+    def clwb(self, addr: int, size: int = 64) -> float: ...  # pragma: no cover
+
+    def fence(self, kind: str = "sfence") -> float: ...  # pragma: no cover
+
+    def tick(self, cycles: float) -> None: ...  # pragma: no cover
+
+
+class NullCore:
+    """A CoreLike whose operations cost nothing and touch nothing.
+
+    Used to pre-populate data stores: the Python-side structure state
+    (keys, values, layout) is built identically, but no simulated
+    memory traffic or time passes.
+    """
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def load(self, addr: int, size: int = 8) -> float:
+        return 0.0
+
+    def store(self, addr: int, size: int = 8) -> float:
+        return 0.0
+
+    def nt_store(self, addr: int, size: int = 64) -> float:
+        return 0.0
+
+    def clwb(self, addr: int, size: int = 64) -> float:
+        return 0.0
+
+    def clflushopt(self, addr: int, size: int = 64) -> float:
+        return 0.0
+
+    def sfence(self) -> float:
+        return 0.0
+
+    def mfence(self) -> float:
+        return 0.0
+
+    def fence(self, kind: str = "sfence") -> float:
+        return 0.0
+
+    def stream_load(self, addr: int, size: int = 64) -> float:
+        return 0.0
+
+    def tick(self, cycles: float) -> None:
+        pass

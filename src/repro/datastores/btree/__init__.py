@@ -1,0 +1,20 @@
+"""FAST & FAIR-style persistent B+-tree (paper Section 4.2)."""
+
+from repro.datastores.btree.fastfair import BtreeStats, FastFairTree
+from repro.datastores.btree.node import (
+    ENTRY_SIZE,
+    HEADER_BYTES,
+    NODE_BYTES,
+    NODE_CAPACITY,
+    Node,
+)
+
+__all__ = [
+    "BtreeStats",
+    "FastFairTree",
+    "ENTRY_SIZE",
+    "HEADER_BYTES",
+    "NODE_BYTES",
+    "NODE_CAPACITY",
+    "Node",
+]

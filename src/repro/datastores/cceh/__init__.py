@@ -1,0 +1,22 @@
+"""CCEH: cacheline-conscious extendible hashing (paper Section 4.1)."""
+
+from repro.datastores.cceh.hashtable import CcehHashTable, CcehStats
+from repro.datastores.cceh.segment import (
+    BUCKET_SLOTS,
+    PAIR_SIZE,
+    PROBE_DISTANCE,
+    SEGMENT_BUCKETS,
+    SEGMENT_BYTES,
+    Segment,
+)
+
+__all__ = [
+    "CcehHashTable",
+    "CcehStats",
+    "BUCKET_SLOTS",
+    "PAIR_SIZE",
+    "PROBE_DISTANCE",
+    "SEGMENT_BUCKETS",
+    "SEGMENT_BYTES",
+    "Segment",
+]

@@ -1,0 +1,96 @@
+"""Persistent spinlock and its handover cost (paper §3.5 implications).
+
+The paper warns: "A similar problem could occur when read-write
+sharing a cacheline on PM across CPU sockets, e.g., multiple threads
+on different sockets competing for a persistent lock ... Handing over
+the lock between threads requires a shared cacheline to be invalidated
+and flushed back to PM, immediately followed by a read from another
+thread."
+
+:class:`PersistentLock` models exactly that protocol: the owner writes
+and persists the lock word on release (so lock ownership survives a
+crash for recovery purposes), and the next owner's acquire starts with
+a read of that just-persisted cacheline — a read-after-persist on the
+lock word.  On G1, cross-handover acquires eat the full RAP stall; on
+G2 (clwb retained) local handovers are cheap, and only cross-socket
+traffic pays.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import DataStoreError
+from repro.persist.allocator import RegionAllocator
+from repro.system.machine import Core
+
+
+class PersistentLock:
+    """A test-and-set lock whose word lives on persistent memory."""
+
+    def __init__(self, allocator: RegionAllocator, fence: str = "mfence") -> None:
+        self.addr = allocator.alloc(64, align=64)
+        self.fence = fence
+        self._owner: str | None = None
+        self.acquisitions = 0
+        self.handovers = 0
+
+    @property
+    def owner(self) -> str | None:
+        """Name of the core holding the lock (None when free)."""
+        return self._owner
+
+    def acquire(self, core: Core) -> float:
+        """Take the lock; returns the cycles the acquire cost.
+
+        The read of the lock word is the RAP-prone access: the previous
+        owner's release flushed this very cacheline.
+        """
+        if self._owner == core.name:
+            raise DataStoreError(f"{core.name} already holds the lock")
+        start = core.now
+        core.load(self.addr, 8)  # observe the released word
+        core.store(self.addr, 8)  # CAS write (modeled as one store)
+        core.clwb(self.addr)  # ownership must be durable
+        core.fence(self.fence)
+        if self._owner is not None:
+            self.handovers += 1
+        self._owner = core.name
+        self.acquisitions += 1
+        return core.now - start
+
+    def release(self, core: Core) -> float:
+        """Release the lock, persisting the cleared word."""
+        if self._owner != core.name:
+            raise DataStoreError(f"{core.name} does not hold the lock")
+        start = core.now
+        core.store(self.addr, 8)
+        core.clwb(self.addr)
+        core.fence(self.fence)
+        self._owner = None
+        return core.now - start
+
+
+def measure_handover(
+    lock: PersistentLock,
+    cores: list[Core],
+    rounds: int,
+    critical_section_cycles: float = 50.0,
+) -> float:
+    """Average acquire latency when the lock ping-pongs across cores.
+
+    Each round: the next core acquires (paying the RAP on the word the
+    previous owner just flushed), holds briefly, releases.  Cores'
+    clocks are kept synchronized to model back-to-back contention.
+    """
+    total_acquire = 0.0
+    acquires = 0
+    for round_index in range(rounds):
+        core = cores[round_index % len(cores)]
+        # Contending core spins until the current release time.
+        latest = max(c.now for c in cores)
+        if core.now < latest:
+            core.now = latest
+        total_acquire += lock.acquire(core)
+        acquires += 1
+        core.tick(critical_section_cycles)
+        lock.release(core)
+    return total_acquire / acquires

@@ -1,0 +1,14 @@
+"""DIMM front-ends (Optane and DRAM) and their configurations."""
+
+from repro.dimm.config import DramDimmConfig, OptaneDimmConfig
+from repro.dimm.dram import DramDimm
+from repro.dimm.optane import OptaneDimm, ReadResponse, WriteResponse
+
+__all__ = [
+    "DramDimmConfig",
+    "OptaneDimmConfig",
+    "DramDimm",
+    "OptaneDimm",
+    "ReadResponse",
+    "WriteResponse",
+]

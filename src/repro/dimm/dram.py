@@ -1,0 +1,52 @@
+"""DRAM DIMM front-end.
+
+DRAM has no on-DIMM buffering and no access-granularity mismatch; the
+front-end exists so the iMC can treat both device types uniformly and
+so the paper's DRAM-baseline experiments (Figure 7 b/d/f/h, Figure 10
+c/d) run through the same code path.
+"""
+
+from __future__ import annotations
+
+from repro.common.constants import CACHELINE_SIZE
+from repro.dimm.config import DramDimmConfig
+from repro.dimm.optane import ReadResponse, WriteResponse
+from repro.media.dram import DramMedia
+from repro.sim.clock import Cycles
+from repro.stats.counters import TelemetryCounters
+
+
+class DramDimm:
+    """One simulated DRAM channel."""
+
+    def __init__(self, config: DramDimmConfig, counters: TelemetryCounters, name: str = "dram0") -> None:
+        config.validate()
+        self.config = config
+        self.name = name
+        self.counters = counters
+        self.media = DramMedia(config.media, counters, name=f"{name}.media")
+
+    def read_line(self, now: Cycles, addr: int, demand: bool = True) -> ReadResponse:
+        """Serve one cacheline read (synchronous)."""
+        self.counters.imc_read_bytes += CACHELINE_SIZE
+        if demand:
+            self.counters.demand_read_bytes += CACHELINE_SIZE
+        grant = self.media.read_line(now, addr)
+        return ReadResponse(grant.finish, "media")
+
+    def ingest_write(self, now: Cycles, addr: int) -> WriteResponse:
+        """Ingest one cacheline write drained from the WPQ."""
+        self.counters.imc_write_bytes += CACHELINE_SIZE
+        grant = self.media.write_line(now, addr)
+        ingest_finish = now + self.config.ingest_latency
+        return WriteResponse(
+            ingest_finish=ingest_finish,
+            persist_completion=max(grant.finish, ingest_finish) + self.config.persist_drain_latency,
+        )
+
+    def idle_tick(self, now: Cycles) -> None:
+        """No time-driven machinery in DRAM."""
+
+    def reset(self) -> None:
+        """Clear media port state."""
+        self.media.reset()

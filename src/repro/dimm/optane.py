@@ -1,0 +1,192 @@
+"""Optane DIMM front-end: buffers + AIT + media behind a DDR-T interface.
+
+This is the component the iMC talks to.  It owns the read buffer, the
+write-combining buffer, and the 3D-XPoint media, and implements the
+paper's inferred behaviours:
+
+* reads probe the write buffer, then the read buffer, then the media
+  (installing the fetched XPLine into the read buffer);
+* writes merge into the write buffer; a write that hits a read-buffer
+  XPLine *adopts* it into the write buffer, skipping the
+  read-modify-write (§3.3);
+* capacity evictions apply back-pressure to the WPQ (this is what
+  limits write bandwidth), while periodic write-backs drain
+  asynchronously;
+* every interaction is counted in the DIMM's telemetry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.constants import (
+    CACHELINE_SIZE,
+    cacheline_slot_in_xpline,
+    xpline_index,
+)
+from repro.common.rng import DeterministicRng
+from repro.buffers.read_buffer import ReadBuffer
+from repro.buffers.write_buffer import WriteBuffer, Writeback
+from repro.dimm.config import OptaneDimmConfig
+from repro.media.xpoint import XPointMedia
+from repro.sim.clock import Cycles
+from repro.stats.counters import TelemetryCounters
+
+
+@dataclass(frozen=True)
+class ReadResponse:
+    """Timing and provenance of one 64 B read."""
+
+    finish: Cycles
+    #: Where the data came from: "write-buffer", "read-buffer", "media".
+    source: str
+
+
+@dataclass(frozen=True)
+class WriteResponse:
+    """Timing of one 64 B write ingested through the WPQ."""
+
+    #: When the DIMM accepted the line (WPQ slot freed; store "done").
+    ingest_finish: Cycles
+    #: When the flush is complete on the DIMM (read-after-persist gate).
+    persist_completion: Cycles
+
+
+class OptaneDimm:
+    """One simulated Optane DCPMM module."""
+
+    def __init__(
+        self,
+        config: OptaneDimmConfig,
+        counters: TelemetryCounters,
+        rng: DeterministicRng,
+        name: str = "pm0",
+    ) -> None:
+        config.validate()
+        self.config = config
+        self.name = name
+        self.counters = counters
+        self.media = XPointMedia(config.media, counters, name=f"{name}.media")
+        self.read_buffer = ReadBuffer(
+            config.read_buffer_bytes,
+            name=f"{name}.rbuf",
+            policy=config.read_buffer_policy,
+        )
+        self.write_buffer = WriteBuffer(
+            config.write_buffer_bytes,
+            rng=rng,
+            periodic_writeback=config.periodic_writeback,
+            writeback_period=config.writeback_period,
+            name=f"{name}.wbuf",
+            eviction=config.write_buffer_eviction,
+        )
+
+    # -- read path ---------------------------------------------------------
+
+    def read_line(self, now: Cycles, addr: int, demand: bool = True) -> ReadResponse:
+        """Serve one cacheline read arriving at the DIMM at ``now``."""
+        self.counters.imc_read_bytes += CACHELINE_SIZE
+        if demand:
+            self.counters.demand_read_bytes += CACHELINE_SIZE
+        self._drain_periodic(now)
+
+        xpline = xpline_index(addr)
+        slot = cacheline_slot_in_xpline(addr)
+
+        if self.write_buffer.servable(xpline, slot):
+            self.counters.read_buffer_hits += 1
+            return ReadResponse(now + self.config.buffer_read_latency, "write-buffer")
+
+        if self.write_buffer.contains(xpline):
+            # The XPLine is buffered but this slot's data is not held:
+            # one media read completes the entry (read-side RMW fill),
+            # after which every slot is servable from the write buffer.
+            self.counters.read_buffer_misses += 1
+            self.counters.underfill_reads += 1
+            grant = self.media.read_xpline(now, addr)
+            self.write_buffer.fill_from_media(xpline)
+            return ReadResponse(grant.finish + self.config.transfer_latency, "write-buffer-fill")
+
+        if self.read_buffer.deliver(xpline, slot):
+            self.counters.read_buffer_hits += 1
+            return ReadResponse(now + self.config.buffer_read_latency, "read-buffer")
+
+        self.counters.read_buffer_misses += 1
+        grant = self.media.read_xpline(now, addr)
+        self.read_buffer.install(xpline, consumed_slots=(slot,))
+        return ReadResponse(grant.finish + self.config.transfer_latency, "media")
+
+    # -- write path ----------------------------------------------------------
+
+    def ingest_write(self, now: Cycles, addr: int) -> WriteResponse:
+        """Ingest one cacheline write drained from the WPQ at ``now``."""
+        self.counters.imc_write_bytes += CACHELINE_SIZE
+        xpline = xpline_index(addr)
+        slot = cacheline_slot_in_xpline(addr)
+
+        if self.write_buffer.contains(xpline):
+            outcome = self.write_buffer.write(now, xpline, slot)
+            self.counters.write_buffer_hits += 1
+        elif self.config.enable_transition and self.read_buffer.contains(xpline):
+            # §3.3: the XPLine transitions from the read buffer to the
+            # write buffer; its media contents come along, so no
+            # read-modify-write will be needed at eviction time.
+            self.read_buffer.take(xpline)
+            outcome = self.write_buffer.adopt_from_read_buffer(now, xpline, slot)
+            self.counters.write_buffer_misses += 1
+            self.counters.rmw_avoided += 1
+        else:
+            outcome = self.write_buffer.write(now, xpline, slot)
+            self.counters.write_buffer_misses += 1
+
+        ingest_finish = now + self.config.ingest_latency
+        for writeback in outcome.writebacks:
+            write_start = self._schedule_writeback(now, writeback)
+            # Buffer space is not actually free until the write-back has
+            # been issued to the media: when the write port is backlogged
+            # the ingest waits — the back-pressure that bounds sustained
+            # write bandwidth (of any pattern) to the media drain rate.
+            ingest_finish = max(ingest_finish, write_start + self.config.ingest_latency)
+
+        persist_completion = ingest_finish + self.config.persist_drain_latency
+        return WriteResponse(ingest_finish, persist_completion)
+
+    def idle_tick(self, now: Cycles) -> None:
+        """Let time-driven machinery (periodic write-back) advance."""
+        self._drain_periodic(now)
+
+    def drain_for_power_failure(self, now: Cycles) -> int:
+        """ADR drain: flush the whole write buffer to the media.
+
+        Returns the number of XPLines written.  Used by crash-recovery
+        tests to model the ADR guarantee that data accepted by the
+        write buffer is durable.
+        """
+        writebacks = self.write_buffer.drain_all()
+        for writeback in writebacks:
+            self._schedule_writeback(now, writeback)
+        return len(writebacks)
+
+    # -- internals -------------------------------------------------------------
+
+    def _drain_periodic(self, now: Cycles) -> None:
+        for writeback in self.write_buffer.poll(now):
+            self._schedule_writeback(now, writeback)
+
+    def _schedule_writeback(self, now: Cycles, writeback: Writeback) -> Cycles:
+        """Issue the media work for one write-back; returns write start time."""
+        addr = writeback.xpline * 256
+        if writeback.needs_underfill_read:
+            self.counters.underfill_reads += 1
+        grant = self.media.write_xpline(now, addr, rmw=writeback.needs_underfill_read)
+        if writeback.reason in ("periodic", "rewrite"):
+            self.counters.periodic_writebacks += 1
+        else:
+            self.counters.write_buffer_evictions += 1
+        return grant.start
+
+    def reset(self) -> None:
+        """Clear all buffering and media state (counters untouched)."""
+        self.read_buffer.clear()
+        self.write_buffer.clear()
+        self.media.reset()

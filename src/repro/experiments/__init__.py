@@ -1,0 +1,27 @@
+"""Per-figure/table experiment harnesses (see DESIGN.md's index).
+
+Each module exposes ``run(...)`` returning :class:`ExperimentReport`
+objects (or typed rows) and can be executed directly::
+
+    python -m repro.experiments.fig02
+"""
+
+from repro.experiments.common import (
+    ExperimentReport,
+    Series,
+    buffer_wss_grid,
+    check_profile,
+    interleave_workers,
+    split_round_robin,
+    wide_wss_grid,
+)
+
+__all__ = [
+    "ExperimentReport",
+    "Series",
+    "buffer_wss_grid",
+    "check_profile",
+    "interleave_workers",
+    "split_round_robin",
+    "wide_wss_grid",
+]

@@ -1,0 +1,46 @@
+"""Experiment E3 — Figure 3: write amplification by write fraction.
+
+Paper claims (C3): on G1, partial writes are fully absorbed (WA = 0)
+until the ~12 KB write buffer overflows, then WA climbs toward the
+theoretical 4/k; 100% writes are periodically written back and sit at
+WA ≈ 1 at *any* WSS.  On G2 periodic write-back is disabled, so all
+four curves rise gracefully only beyond a >12 KB capacity.
+"""
+
+from __future__ import annotations
+
+from repro.cache.prefetch import PrefetcherConfig
+from repro.core.microbench.write_amp import run_write_amplification
+from repro.experiments.common import ExperimentReport, buffer_wss_grid, check_profile
+from repro.system.presets import machine_for
+
+
+def run(generation: int = 1, profile: str = "fast", random_across_xplines: bool = False) -> ExperimentReport:
+    """Reproduce Figure 3 for one generation."""
+    check_profile(profile)
+    wss_points = buffer_wss_grid(step_kib=2 if profile == "fast" else 1, max_kib=32)
+    passes = 6 if profile == "fast" else 10
+    report = ExperimentReport(
+        experiment_id=f"fig3-g{generation}",
+        title=f"Write amplification, nt-store partial writes (G{generation})",
+        x_label="WSS",
+        x_values=wss_points,
+    )
+    for written in (4, 3, 2, 1):
+        values = []
+        for wss in wss_points:
+            machine = machine_for(generation, prefetchers=PrefetcherConfig.none())
+            result = run_write_amplification(
+                machine, wss, written, passes=passes, random_across_xplines=random_across_xplines
+            )
+            values.append(result.write_amplification)
+        report.add_series(f"{written * 25}% write", values)
+    report.notes.append(
+        "access order across XPLines: " + ("random" if random_across_xplines else "sequential")
+    )
+    return report
+
+
+if __name__ == "__main__":  # pragma: no cover
+    for gen in (1, 2):
+        print(run(gen).render())

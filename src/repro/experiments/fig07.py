@@ -1,0 +1,56 @@
+"""Experiment E5 — Figure 7: read-after-persist latency vs distance.
+
+Paper claim (C5): on G1, reading a recently clwb'd or nt-stored line
+costs up to ~2500 cycles locally (~3200 remotely) — up to 10× the
+settled latency — decaying with distance; clwb+sfence is cheap at
+distance ≤ 1 (loads overtake the flush), then jumps to ~800–1000 and
+converges.  On G2 clwb retains cachelines and the problem disappears
+for clwb (at a coherence cost), while nt-store still suffers.  DRAM
+shows the same shape compressed to ~2×.
+"""
+
+from __future__ import annotations
+
+from repro.core.microbench.rap import rap_curve
+from repro.experiments.common import ExperimentReport, check_profile
+from repro.persist.persistency import FenceKind, FlushKind
+
+#: Panels (a)-(d) per generation, as (region, curve specs).
+_PANEL_SPECS: tuple[tuple[str, tuple[tuple[FlushKind, FenceKind], ...]], ...] = (
+    ("pm", ((FlushKind.CLWB, FenceKind.MFENCE), (FlushKind.CLWB, FenceKind.SFENCE), (FlushKind.NT_STORE, FenceKind.MFENCE))),
+    ("dram", ((FlushKind.CLWB, FenceKind.MFENCE), (FlushKind.CLWB, FenceKind.SFENCE))),
+    ("pm_remote", ((FlushKind.CLWB, FenceKind.MFENCE), (FlushKind.CLWB, FenceKind.SFENCE), (FlushKind.NT_STORE, FenceKind.MFENCE))),
+    ("dram_remote", ((FlushKind.CLWB, FenceKind.MFENCE), (FlushKind.CLWB, FenceKind.SFENCE))),
+)
+
+_FAST_DISTANCES = (0, 1, 2, 4, 8, 16, 32, 40)
+_FULL_DISTANCES = (0, 1, 2, 3, 4, 6, 8, 12, 16, 20, 24, 32, 40)
+
+
+def run_panel(generation: int, region: str, profile: str = "fast") -> ExperimentReport:
+    """One panel: all curves for one (generation, region)."""
+    check_profile(profile)
+    distances = _FAST_DISTANCES if profile == "fast" else _FULL_DISTANCES
+    passes = 20 if profile == "fast" else 40
+    specs = dict(_PANEL_SPECS)[region]
+    report = ExperimentReport(
+        experiment_id=f"fig7-g{generation}-{region}",
+        title=f"RAP latency on {region} (G{generation}), cycles/iteration",
+        x_label="distance",
+        x_values=list(distances),
+    )
+    for flush, fence in specs:
+        curve = rap_curve(generation, region, flush, fence, distances, passes=passes)
+        report.add_series(f"{flush.value}+{fence.value}", [p.cycles_per_iteration for p in curve.points])
+    return report
+
+
+def run(generation: int = 1, profile: str = "fast") -> list[ExperimentReport]:
+    """All four panels of one Figure 7 row."""
+    return [run_panel(generation, region, profile) for region, _ in _PANEL_SPECS]
+
+
+if __name__ == "__main__":  # pragma: no cover
+    for report in run(1):
+        print(report.render(precision=0))
+        print()

@@ -1,0 +1,60 @@
+"""Terminal plotting for experiment reports (no matplotlib available).
+
+Renders an :class:`~repro.experiments.common.ExperimentReport` as an
+ASCII chart: one braille-free, block-character row chart per series,
+plus a normalized multi-series line chart.  Used by the CLI's
+``--chart`` flag so the reproduction's "figures" can be eyeballed next
+to the paper's.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentReport
+
+#: Eight block characters from low to high.
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: list[float], lo: float | None = None, hi: float | None = None) -> str:
+    """Render values as a row of block characters."""
+    if not values:
+        return ""
+    lo = min(values) if lo is None else lo
+    hi = max(values) if hi is None else hi
+    if hi <= lo:
+        return _BLOCKS[4] * len(values)
+    span = hi - lo
+    out = []
+    for value in values:
+        index = int((value - lo) / span * (len(_BLOCKS) - 1))
+        out.append(_BLOCKS[max(0, min(index, len(_BLOCKS) - 1))])
+    return "".join(out)
+
+
+def chart(report: ExperimentReport, width_label: int | None = None, shared_scale: bool = True) -> str:
+    """Multi-series sparkline chart of a report.
+
+    ``shared_scale`` puts all series on one y-scale (comparable bars);
+    otherwise each series is self-normalized (shape only).
+    """
+    if not report.series:
+        return f"== {report.experiment_id}: (no series) =="
+    width_label = width_label or max(len(series.name) for series in report.series)
+    lines = [f"== {report.experiment_id}: {report.title} =="]
+    lo = hi = None
+    if shared_scale:
+        everything = [value for series in report.series for value in series.values]
+        lo, hi = min(everything), max(everything)
+    for series in report.series:
+        body = sparkline(series.values, lo, hi)
+        smin, smax = min(series.values), max(series.values)
+        lines.append(
+            f"{series.name.rjust(width_label)} |{body}| "
+            f"[{smin:.2f} .. {smax:.2f}]"
+        )
+    first, last = report.x_values[0], report.x_values[-1]
+    lines.append(
+        f"{'x'.rjust(width_label)}  {report.x_label}: {report._format_x(first)} "
+        f"→ {report._format_x(last)} ({len(report.x_values)} points)"
+    )
+    return "\n".join(lines)

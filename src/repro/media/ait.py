@@ -1,0 +1,83 @@
+"""Address Indirection Table (AIT) cache model.
+
+Optane DIMMs translate DIMM physical addresses to media addresses
+through an on-DIMM Address Indirection Table (for wear leveling).  The
+hot part of the AIT is cached on-DIMM; prior work (LENS [30]) and the
+paper's Section 3.6 observe a sharp read-latency increase once the
+working set exceeds roughly 16 MB, attributed to AIT-cache overflow.
+
+We model the AIT cache as an LRU set of 4 KB translation granules with
+a fixed coverage.  A miss charges an extra media access to fetch the
+translation entry.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.common.units import kib, mib
+from repro.stats.counters import TelemetryCounters
+
+
+@dataclass(frozen=True)
+class AitConfig:
+    """Geometry and cost of the AIT cache."""
+
+    #: Bytes of PM address space whose translations fit in the cache.
+    coverage_bytes: int = mib(16)
+    #: Translation granule: one cached entry covers this many bytes.
+    granule_bytes: int = kib(4)
+    #: Extra cycles charged to a media access on an AIT-cache miss.
+    miss_penalty: float = 200.0
+
+    def validate(self) -> None:
+        """Raise ConfigError on inconsistent AIT geometry."""
+        if self.coverage_bytes <= 0 or self.granule_bytes <= 0:
+            raise ConfigError("AIT coverage and granule must be positive")
+        if self.coverage_bytes % self.granule_bytes:
+            raise ConfigError("AIT coverage must be a multiple of the granule")
+        if self.miss_penalty < 0:
+            raise ConfigError("AIT miss penalty cannot be negative")
+
+    @property
+    def entries(self) -> int:
+        """Number of cached translation entries."""
+        return self.coverage_bytes // self.granule_bytes
+
+
+class AitCache:
+    """LRU cache of address-translation granules."""
+
+    def __init__(self, config: AitConfig, counters: TelemetryCounters) -> None:
+        config.validate()
+        self.config = config
+        self._counters = counters
+        self._entries: OrderedDict[int, None] = OrderedDict()
+
+    def lookup_penalty(self, addr: int) -> float:
+        """Charge for translating ``addr``; 0 on a hit, miss penalty otherwise.
+
+        The granule is installed (and LRU-refreshed) as a side effect,
+        mirroring a real translation fetch.
+        """
+        granule = addr // self.config.granule_bytes
+        if granule in self._entries:
+            self._entries.move_to_end(granule)
+            self._counters.ait_hits += 1
+            return 0.0
+        self._counters.ait_misses += 1
+        self._entries[granule] = None
+        if len(self._entries) > self.config.entries:
+            self._entries.popitem(last=False)
+        return self.config.miss_penalty
+
+    @property
+    def resident_granules(self) -> int:
+        """How many translation granules are currently cached."""
+        return len(self._entries)
+
+    def reset(self) -> None:
+        """Drop all cached translations (simulated power cycle)."""
+        self._entries.clear()

@@ -1,0 +1,72 @@
+"""DRAM media model — the baseline device the paper compares against.
+
+DRAM differs from the Optane media in every way that matters here:
+64-byte access granularity (no amplification), symmetric and much
+lower latency, and ample concurrency.  Persists to DRAM (used by the
+paper's Figure 7 DRAM curves) complete quickly because there is no
+slow media behind the write pending queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.constants import CACHELINE_SIZE
+from repro.common.errors import ConfigError
+from repro.sim.clock import Cycles
+from repro.sim.ports import ServiceGrant, ServicePorts
+from repro.stats.counters import TelemetryCounters
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """Latency/concurrency parameters of a DRAM channel."""
+
+    #: Service time of one cacheline read, in cycles.
+    read_latency: float = 150.0
+    #: Service time of one cacheline write, in cycles.
+    write_latency: float = 150.0
+    #: Concurrent reads the channel sustains (banks × channels, folded).
+    read_ports: int = 10
+    #: Concurrent writes the channel sustains.
+    write_ports: int = 10
+
+    def validate(self) -> None:
+        """Raise ConfigError on non-positive latencies or ports."""
+        if self.read_latency <= 0 or self.write_latency <= 0:
+            raise ConfigError("DRAM latencies must be positive")
+        if self.read_ports <= 0 or self.write_ports <= 0:
+            raise ConfigError("DRAM port counts must be positive")
+
+
+class DramMedia:
+    """One DRAM channel with telemetry.
+
+    Media and iMC byte counts coincide for DRAM (64 B granularity both
+    sides), so amplification metrics evaluate to 1 by construction.
+    """
+
+    def __init__(self, config: DramConfig, counters: TelemetryCounters, name: str = "dram") -> None:
+        config.validate()
+        self.config = config
+        self.name = name
+        self.counters = counters
+        self.read_ports = ServicePorts(config.read_ports, f"{name}.read")
+        self.write_ports = ServicePorts(config.write_ports, f"{name}.write")
+
+    def read_line(self, now: Cycles, addr: int) -> ServiceGrant:
+        """Read the cacheline containing ``addr``."""
+        grant = self.read_ports.acquire(now, self.config.read_latency)
+        self.counters.media_read_bytes += CACHELINE_SIZE
+        return grant
+
+    def write_line(self, now: Cycles, addr: int) -> ServiceGrant:
+        """Write the cacheline containing ``addr``."""
+        grant = self.write_ports.acquire(now, self.config.write_latency)
+        self.counters.media_write_bytes += CACHELINE_SIZE
+        return grant
+
+    def reset(self) -> None:
+        """Clear port state (counters are left alone)."""
+        self.read_ports.reset()
+        self.write_ports.reset()

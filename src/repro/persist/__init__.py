@@ -1,0 +1,27 @@
+"""Persistence programming layer: allocation, persistency models, logging."""
+
+from repro.persist.allocator import PmHeap, RegionAllocator
+from repro.persist.crash import CrashReport, CrashSimulator, DurabilityChecker
+from repro.persist.log import LogRecord, RedoLog
+from repro.persist.persistency import (
+    FenceKind,
+    FlushKind,
+    PersistConfig,
+    PersistencyModel,
+    Persister,
+)
+
+__all__ = [
+    "PmHeap",
+    "RegionAllocator",
+    "CrashReport",
+    "CrashSimulator",
+    "DurabilityChecker",
+    "LogRecord",
+    "RedoLog",
+    "FenceKind",
+    "FlushKind",
+    "PersistConfig",
+    "PersistencyModel",
+    "Persister",
+]

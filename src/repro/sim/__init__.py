@@ -1,0 +1,17 @@
+"""Discrete-event simulation core: clock, contention, persists, threads."""
+
+from repro.sim.clock import Clock, Cycles
+from repro.sim.inflight import InflightPersists
+from repro.sim.ports import ServiceGrant, ServicePorts
+from repro.sim.scheduler import GeneratorThread, ThreadContext, ThreadScheduler
+
+__all__ = [
+    "Clock",
+    "Cycles",
+    "InflightPersists",
+    "ServiceGrant",
+    "ServicePorts",
+    "GeneratorThread",
+    "ThreadContext",
+    "ThreadScheduler",
+]

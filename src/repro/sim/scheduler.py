@@ -1,0 +1,121 @@
+"""Deterministic multi-thread scheduling over the shared memory system.
+
+Real threads are replaced by :class:`ThreadContext` objects, each with
+its own local clock.  The scheduler repeatedly runs the context with
+the *smallest* local time for one step, so shared resources (service
+ports, buffers) observe requests in globally non-decreasing time order
+— a classic conservative discrete-event loop.
+
+This is how the multi-threaded experiments (CCEH with 1–10 workers,
+Figure 14's thread sweep) model bandwidth contention without real
+parallelism: contention emerges from the finite service ports of the
+simulated DIMMs, not from Python threads.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterator, Protocol
+
+from repro.common.errors import SimulationError
+from repro.sim.clock import Cycles
+
+
+class ThreadContext(Protocol):
+    """Anything the scheduler can run.
+
+    ``now`` is the thread's local time; ``step`` performs the next
+    operation (advancing ``now``) and returns False when the thread has
+    no more work.
+    """
+
+    now: Cycles
+
+    def step(self) -> bool:  # pragma: no cover - protocol
+        ...
+
+
+class GeneratorThread:
+    """Adapts a cycle-yielding generator into a :class:`ThreadContext`.
+
+    The generator receives no arguments and yields nothing; it performs
+    memory operations through a core that advances ``self.now``.  The
+    common pattern::
+
+        core = machine.core(thread_id)
+        thread = GeneratorThread(core, lambda: workload(core))
+
+    where ``workload`` is a plain function run step-by-step via its
+    iterator protocol when written as a generator.
+    """
+
+    def __init__(self, name: str, body: Iterator[None], clock_source: Callable[[], Cycles]) -> None:
+        self.name = name
+        self._body = body
+        self._clock_source = clock_source
+        self._done = False
+        self.steps = 0
+
+    @property
+    def now(self) -> Cycles:
+        return self._clock_source()
+
+    def step(self) -> bool:
+        if self._done:
+            return False
+        try:
+            next(self._body)
+            self.steps += 1
+            return True
+        except StopIteration:
+            self._done = True
+            return False
+
+
+class ThreadScheduler:
+    """Runs a set of thread contexts to completion in causal time order."""
+
+    def __init__(self) -> None:
+        self._threads: list[ThreadContext] = []
+
+    def add(self, thread: ThreadContext) -> None:
+        """Register a thread to run."""
+        self._threads.append(thread)
+
+    def run(self, max_steps: int | None = None) -> int:
+        """Drive all threads until each reports completion.
+
+        Uses a heap keyed by local time (with a tiebreaking sequence
+        number so ordering is deterministic for equal timestamps).
+        Returns the total number of steps executed.  ``max_steps``
+        guards against accidentally unbounded workloads.
+        """
+        heap: list[tuple[Cycles, int, int]] = []
+        alive: dict[int, ThreadContext] = {}
+        for index, thread in enumerate(self._threads):
+            heapq.heappush(heap, (thread.now, index, index))
+            alive[index] = thread
+
+        steps = 0
+        sequence = len(self._threads)
+        while heap:
+            _, _, index = heapq.heappop(heap)
+            thread = alive.get(index)
+            if thread is None:
+                continue
+            if thread.step():
+                heapq.heappush(heap, (thread.now, sequence, index))
+                sequence += 1
+            else:
+                del alive[index]
+            steps += 1
+            if max_steps is not None and steps > max_steps:
+                raise SimulationError(f"scheduler exceeded {max_steps} steps; runaway thread?")
+        return steps
+
+    @property
+    def makespan(self) -> Cycles:
+        """Latest local time across all registered threads (after run())."""
+        if not self._threads:
+            return 0.0
+        return max(thread.now for thread in self._threads)

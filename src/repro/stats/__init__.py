@@ -1,0 +1,13 @@
+"""Measurement machinery: ipmwatch-equivalent counters and latency stats."""
+
+from repro.stats.counters import TelemetryCounters, TelemetryDelta, TelemetryRegistry
+from repro.stats.latency import LatencyRecorder, LatencySummary, TimeBreakdown
+
+__all__ = [
+    "TelemetryCounters",
+    "TelemetryDelta",
+    "TelemetryRegistry",
+    "LatencyRecorder",
+    "LatencySummary",
+    "TimeBreakdown",
+]

@@ -1,0 +1,175 @@
+"""Latency accounting: per-operation samples, summaries and histograms.
+
+The paper reports latency as *CPU cycles per element / per operation*
+(Figures 7, 8, 10, 12, 14).  :class:`LatencyRecorder` collects samples
+cheaply (sum + count + bounded reservoir) and produces the summary
+statistics the experiment harness prints.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Summary statistics over a set of latency samples (in cycles)."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+    p99: float
+    stddev: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.count} mean={self.mean:.1f} p50={self.p50:.1f} "
+            f"p95={self.p95:.1f} p99={self.p99:.1f} max={self.maximum:.1f}"
+        )
+
+
+def _percentile(sorted_samples: list[float], fraction: float) -> float:
+    """Linear-interpolation percentile over pre-sorted samples."""
+    if not sorted_samples:
+        return 0.0
+    if len(sorted_samples) == 1:
+        return sorted_samples[0]
+    rank = fraction * (len(sorted_samples) - 1)
+    lo = int(math.floor(rank))
+    hi = int(math.ceil(rank))
+    if lo == hi:
+        return sorted_samples[lo]
+    weight = rank - lo
+    return sorted_samples[lo] * (1.0 - weight) + sorted_samples[hi] * weight
+
+
+class LatencyRecorder:
+    """Accumulates latency samples with O(1) record cost.
+
+    All samples are retained up to ``max_samples``; beyond that a
+    simple stride-based thinning keeps memory bounded while the running
+    sum/min/max stay exact.  For the experiment sizes in this repo the
+    reservoir virtually never thins.
+    """
+
+    def __init__(self, max_samples: int = 1_000_000) -> None:
+        if max_samples <= 0:
+            raise ValueError("max_samples must be positive")
+        self._max_samples = max_samples
+        self._samples: list[float] = []
+        self._stride = 1
+        self._pending = 0
+        self.count = 0
+        self.total = 0.0
+        self.total_sq = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def record(self, cycles: float) -> None:
+        """Add one sample (cycles spent by one operation)."""
+        self.count += 1
+        self.total += cycles
+        self.total_sq += cycles * cycles
+        if cycles < self.minimum:
+            self.minimum = cycles
+        if cycles > self.maximum:
+            self.maximum = cycles
+        self._pending += 1
+        if self._pending >= self._stride:
+            self._pending = 0
+            self._samples.append(cycles)
+            if len(self._samples) > self._max_samples:
+                # Thin by 2: keep every other retained sample.
+                self._samples = self._samples[::2]
+                self._stride *= 2
+
+    def extend(self, samples: Iterable[float]) -> None:
+        """Record many samples."""
+        for sample in samples:
+            self.record(sample)
+
+    @property
+    def mean(self) -> float:
+        """Exact arithmetic mean of all recorded samples."""
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation (exact, from running moments)."""
+        if self.count == 0:
+            return 0.0
+        variance = self.total_sq / self.count - self.mean**2
+        return math.sqrt(max(variance, 0.0))
+
+    def summary(self) -> LatencySummary:
+        """Produce a :class:`LatencySummary` (percentiles approximate
+        once thinning kicked in, exact otherwise)."""
+        ordered = sorted(self._samples)
+        return LatencySummary(
+            count=self.count,
+            mean=self.mean,
+            minimum=self.minimum if self.count else 0.0,
+            maximum=self.maximum if self.count else 0.0,
+            p50=_percentile(ordered, 0.50),
+            p95=_percentile(ordered, 0.95),
+            p99=_percentile(ordered, 0.99),
+            stddev=self.stddev,
+        )
+
+    def reset(self) -> None:
+        """Drop all samples and zero the running moments."""
+        self.__init__(self._max_samples)
+
+
+class TimeBreakdown:
+    """Attribution of total time across named phases (paper Table 1).
+
+    The CCEH case study reports what fraction of key-insertion time is
+    spent on segment-metadata reads, persists, and everything else.
+    Components charge cycles to named buckets; :meth:`fractions`
+    normalizes.
+    """
+
+    def __init__(self) -> None:
+        self._cycles: dict[str, float] = {}
+
+    def charge(self, bucket: str, cycles: float) -> None:
+        """Add ``cycles`` to ``bucket``."""
+        self._cycles[bucket] = self._cycles.get(bucket, 0.0) + cycles
+
+    @property
+    def total(self) -> float:
+        """Sum over all buckets."""
+        return sum(self._cycles.values())
+
+    def cycles(self, bucket: str) -> float:
+        """Cycles charged to one bucket (0 if never charged)."""
+        return self._cycles.get(bucket, 0.0)
+
+    def fractions(self) -> dict[str, float]:
+        """Bucket shares of the total, each in [0, 1]."""
+        total = self.total
+        if total == 0:
+            return {name: 0.0 for name in self._cycles}
+        return {name: value / total for name, value in self._cycles.items()}
+
+    def merged(self, mapping: dict[str, str]) -> "TimeBreakdown":
+        """Return a new breakdown with buckets renamed/merged via ``mapping``.
+
+        Buckets absent from ``mapping`` keep their names.  Used to fold
+        fine-grained instrumentation buckets into the paper's three
+        Table-1 columns.
+        """
+        out = TimeBreakdown()
+        for name, value in self._cycles.items():
+            out.charge(mapping.get(name, name), value)
+        return out
+
+    def reset(self) -> None:
+        """Zero all buckets."""
+        self._cycles.clear()

@@ -1,0 +1,32 @@
+"""The simulated machine: iMC channels, regions, cores, presets."""
+
+from repro.system.imc import IMCChannel, WpqGrant
+from repro.system.machine import (
+    DRAM_BASE,
+    PM_BASE,
+    REMOTE_DRAM_BASE,
+    REMOTE_PM_BASE,
+    Core,
+    CoreTiming,
+    Machine,
+    MachineConfig,
+    RegionSpec,
+)
+from repro.system.presets import g1_machine, g2_machine, machine_for
+
+__all__ = [
+    "IMCChannel",
+    "WpqGrant",
+    "DRAM_BASE",
+    "PM_BASE",
+    "REMOTE_DRAM_BASE",
+    "REMOTE_PM_BASE",
+    "Core",
+    "CoreTiming",
+    "Machine",
+    "MachineConfig",
+    "RegionSpec",
+    "g1_machine",
+    "g2_machine",
+    "machine_for",
+]

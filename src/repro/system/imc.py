@@ -1,0 +1,130 @@
+"""Integrated memory controller channel: WPQ, RPQ and the ADR domain.
+
+One :class:`IMCChannel` fronts one DIMM.  The write pending queue
+(WPQ) is the heart of the DDR-T asynchrony the paper studies:
+
+* a store/flush is *accepted* once it occupies a WPQ slot — from that
+  moment it is inside the ADR domain and will survive power failure,
+  and this is all a fence waits for;
+* the slot is released when the DIMM ingests the line, so when the
+  DIMM's write buffer is evicting to the slow media, the WPQ fills up
+  and acceptance itself stalls — the mechanism that caps sustained
+  write bandwidth at the media drain rate (paper Section 3.6);
+* the *persist completion* (when the flush is actually done on the
+  DIMM) happens long after acceptance; loads that cannot be served
+  from the CPU caches must wait for it — the read-after-persist
+  anomaly of Section 3.5, tracked here in :class:`InflightPersists`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.common.constants import cacheline_index
+from repro.sim.clock import Cycles
+from repro.sim.inflight import InflightPersists
+
+
+@dataclass(frozen=True)
+class WpqGrant:
+    """Timing of one cacheline write pushed through the WPQ."""
+
+    #: When a WPQ slot was available — the issuing instruction can not
+    #: retire before this (pipeline back-pressure under saturation).
+    issue_ready: Cycles
+    #: When the line is in the ADR domain; fences wait for this.
+    acceptance: Cycles
+    #: When the flush is complete on the DIMM (RAP gate).
+    persist_completion: Cycles
+
+
+class IMCChannel:
+    """WPQ/RPQ front of one DIMM (Optane or DRAM)."""
+
+    def __init__(
+        self,
+        device,
+        wpq_slots: int = 16,
+        accept_latency: float = 60.0,
+        name: str = "ch0",
+    ) -> None:
+        if wpq_slots <= 0:
+            raise ConfigError(f"{name}: wpq_slots must be positive")
+        if accept_latency < 0:
+            raise ConfigError(f"{name}: accept_latency cannot be negative")
+        self.device = device
+        self.name = name
+        self.accept_latency = accept_latency
+        self._wpq_busy: list[Cycles] = [0.0] * wpq_slots
+        self.inflight = InflightPersists()
+        self.writes_issued = 0
+        self.reads_issued = 0
+
+    # -- read side ---------------------------------------------------------
+
+    def read(self, now: Cycles, addr: int, demand: bool = True):
+        """Synchronous cacheline read from the DIMM."""
+        self.reads_issued += 1
+        return self.device.read_line(now, addr, demand=demand)
+
+    def persist_stall(self, now: Cycles, addr: int) -> Cycles | None:
+        """Completion time of an in-flight persist covering ``addr``.
+
+        Returns None when no persist is outstanding — the read can
+        proceed immediately.
+        """
+        return self.inflight.completion_for(cacheline_index(addr), now)
+
+    # -- write side -----------------------------------------------------------
+
+    #: Extra acceptance delay when re-flushing a line whose previous
+    #: persist is still draining (the WPQ holds one entry per address;
+    #: a second flush must wait for / merge with the first).
+    SAME_LINE_HAZARD_CAP = 150.0
+
+    def write(self, now: Cycles, addr: int) -> WpqGrant:
+        """Push one cacheline write (flush, nt-store, or cache write-back).
+
+        Reserves the earliest-free WPQ slot; the slot stays busy until
+        the DIMM ingests the line.  Registers the persist completion in
+        the in-flight tracker.
+        """
+        self.writes_issued += 1
+        index = min(range(len(self._wpq_busy)), key=self._wpq_busy.__getitem__)
+        issue_ready = max(now, self._wpq_busy[index])
+        acceptance = issue_ready + self.accept_latency
+        prior = self.inflight.completion_for(cacheline_index(addr), now)
+        if prior is not None:
+            acceptance += min(prior - now, self.SAME_LINE_HAZARD_CAP)
+        response = self.device.ingest_write(acceptance, addr)
+        self._wpq_busy[index] = response.ingest_finish
+        self.inflight.add(cacheline_index(addr), response.persist_completion)
+        return WpqGrant(
+            issue_ready=issue_ready,
+            acceptance=acceptance,
+            persist_completion=response.persist_completion,
+        )
+
+    # -- maintenance ------------------------------------------------------------
+
+    @property
+    def wpq_slots(self) -> int:
+        """Depth of the write pending queue."""
+        return len(self._wpq_busy)
+
+    def wpq_occupancy(self, now: Cycles) -> int:
+        """Number of WPQ slots still busy at ``now``."""
+        return sum(1 for busy in self._wpq_busy if busy > now)
+
+    def idle_tick(self, now: Cycles) -> None:
+        """Forward time-driven maintenance to the device."""
+        self.device.idle_tick(now)
+
+    def reset(self) -> None:
+        """Clear queue state and in-flight persists."""
+        self._wpq_busy = [0.0] * len(self._wpq_busy)
+        self.inflight.clear()
+        self.writes_issued = 0
+        self.reads_issued = 0
+        self.device.reset()

@@ -1,0 +1,570 @@
+"""The full simulated machine and its CPU cores.
+
+A :class:`Machine` wires together one cache hierarchy + prefetch
+engine (the socket), iMC channels, and memory regions (local/remote
+PM and DRAM).  :class:`Core` is the programmer-facing handle: it
+executes the x86 persistence primitives the paper's benchmarks use —
+``load``, ``store``, ``nt_store``, ``clwb``, ``clflush(opt)``,
+``sfence``, ``mfence``, ``stream_load`` — against the machine,
+advancing its own local cycle clock.
+
+Timing semantics worth calling out (each maps to a paper finding):
+
+* Stores retire into a store buffer: a store miss issues its RFO read
+  in the background and does not stall the core.  This is why write
+  latency is flat across working-set sizes (Figure 8) — persists are
+  gated by WPQ acceptance, not media writes.
+* A fence waits only for WPQ *acceptance* of prior flushes; the
+  persist completes on the DIMM much later.  A load that cannot be
+  served by the caches and targets a line with an in-flight persist
+  stalls until completion — read-after-persist (Figure 7).
+* Loads are not ordered by ``sfence``: a load targeting one of the
+  last few flushed lines may overtake the flush and hit the (pre-
+  invalidation) cached copy; ``mfence`` closes that window.
+* On G1, ``clwb`` invalidates the flushed line; on G2 it retains it
+  (clean), paying a coherence-maintenance cost instead.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import deque
+from dataclasses import dataclass, field, replace
+
+from repro.cache.hierarchy import CacheHierarchy, CacheHierarchyConfig
+from repro.cache.prefetch import PrefetchEngine, PrefetcherConfig
+from repro.common.constants import CACHELINE_SIZE, cacheline_base, cacheline_index
+from repro.common.errors import AddressError, ConfigError
+from repro.common.rng import DEFAULT_SEED, DeterministicRng
+from repro.dimm.config import DramDimmConfig, OptaneDimmConfig
+from repro.dimm.dram import DramDimm
+from repro.dimm.optane import OptaneDimm
+from repro.sim.clock import Cycles
+from repro.stats.counters import TelemetryCounters, TelemetryRegistry
+from repro.system.imc import IMCChannel
+
+
+@dataclass(frozen=True)
+class CoreTiming:
+    """Instruction-issue costs and ordering-window parameters."""
+
+    store_buffer_latency: float = 14.0
+    clwb_issue: float = 8.0
+    clflush_issue: float = 12.0
+    ntstore_issue: float = 10.0
+    sfence_cost: float = 20.0
+    mfence_cost: float = 30.0
+    stream_load_issue: float = 10.0
+    #: Extra clwb cost on G2 (cacheline retained ⇒ coherence upkeep).
+    clwb_coherence_cost: float = 0.0
+    #: How many recent flushes a load may overtake under sfence ordering.
+    sfence_reorder_window: int = 2
+    #: Fraction of a RAP stall hidden when only sfence ordering applies.
+    sfence_rap_overlap: float = 0.25
+
+
+@dataclass(frozen=True)
+class RegionSpec:
+    """One memory region: an address range backed by a DIMM group."""
+
+    name: str
+    kind: str  # "pm" or "dram"
+    base: int
+    size: int
+    dimms: int = 1
+    interleave_bytes: int = 4096
+    remote: bool = False
+    #: NUMA adders applied when ``remote`` is True.
+    remote_read_adder: float = 0.0
+    remote_write_adder: float = 0.0
+    remote_persist_adder: float = 0.0
+
+    def validate(self) -> None:
+        """Raise ConfigError on an invalid region spec."""
+        if self.kind not in ("pm", "dram"):
+            raise ConfigError(f"region {self.name}: unknown kind {self.kind!r}")
+        if self.size <= 0 or self.dimms <= 0 or self.interleave_bytes <= 0:
+            raise ConfigError(f"region {self.name}: sizes must be positive")
+
+    @property
+    def end(self) -> int:
+        """One past the region's last byte."""
+        return self.base + self.size
+
+
+#: Default region bases, far apart so regions can grow in tests.
+PM_BASE = 1 << 40
+DRAM_BASE = 1 << 30
+REMOTE_PM_BASE = 1 << 44
+REMOTE_DRAM_BASE = 1 << 45
+#: Default NUMA adders (cycles), calibrated to Figure 7's remote curves.
+REMOTE_PM_READ_ADDER = 500.0
+REMOTE_PM_PERSIST_ADDER = 700.0
+REMOTE_DRAM_READ_ADDER = 130.0
+REMOTE_DRAM_PERSIST_ADDER = 150.0
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Everything needed to build a simulated testbed."""
+
+    generation: int = 1
+    caches: CacheHierarchyConfig = field(default_factory=CacheHierarchyConfig)
+    prefetchers: PrefetcherConfig = field(default_factory=PrefetcherConfig)
+    optane: OptaneDimmConfig = field(default_factory=OptaneDimmConfig)
+    dram: DramDimmConfig = field(default_factory=DramDimmConfig)
+    timing: CoreTiming = field(default_factory=CoreTiming)
+    regions: tuple[RegionSpec, ...] = ()
+    wpq_slots: int = 16
+    #: Cycles for a flush/nt-store to become globally visible (what a
+    #: fence waits for): the DDR-T transfer + WPQ insertion.  Real
+    #: persist barriers on Optane cost a few hundred cycles even with
+    #: an idle queue.
+    wpq_accept_latency: float = 200.0
+    #: G2 retains flushed cachelines (eliminating clwb RAP, §3.5).
+    clwb_retains: bool = False
+    #: Extended ADR (paper §6): the CPU caches join the persistence
+    #: domain, so no flushes are needed for durability and a power
+    #: failure flushes dirty cachelines instead of losing them.  The
+    #: paper's testbeds run with eADR *disabled*; this flag exists to
+    #: explore the platform the paper could not evaluate.
+    eadr: bool = False
+    #: CPU clock, used only to convert cycles to wall-clock figures
+    #: (Mops/s, GB/s) in experiment reports.
+    frequency_ghz: float = 2.1
+    seed: int = DEFAULT_SEED
+
+    def validate(self) -> None:
+        """Validate the whole machine configuration."""
+        if self.generation not in (1, 2):
+            raise ConfigError(f"unknown generation {self.generation}")
+        self.caches.validate()
+        self.optane.validate()
+        self.dram.validate()
+        for region in self.regions:
+            region.validate()
+        ordered = sorted(self.regions, key=lambda r: r.base)
+        for left, right in zip(ordered, ordered[1:]):
+            if left.end > right.base:
+                raise ConfigError(f"regions {left.name} and {right.name} overlap")
+
+
+class _Region:
+    """Instantiated region: spec + its iMC channels."""
+
+    def __init__(self, spec: RegionSpec, channels: list[IMCChannel]) -> None:
+        self.spec = spec
+        self.channels = channels
+
+    def channel_for(self, addr: int) -> IMCChannel:
+        """Route ``addr`` to its interleaved iMC channel."""
+        index = ((addr - self.spec.base) // self.spec.interleave_bytes) % len(self.channels)
+        return self.channels[index]
+
+
+class Machine:
+    """One socket (caches + prefetchers) over PM and DRAM regions."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        config.validate()
+        self.config = config
+        self.rng = DeterministicRng(config.seed)
+        self.registry = TelemetryRegistry()
+        self.caches = CacheHierarchy(config.caches)
+        self.prefetch = PrefetchEngine(config.prefetchers, self.rng.fork(1))
+        self._regions: list[_Region] = []
+        self._inflight_fills: dict[int, Cycles] = {}
+        self.prefetch_issued = 0
+        self.prefetch_dropped = 0
+        for spec in config.regions:
+            self._regions.append(self._build_region(spec))
+        self._regions.sort(key=lambda region: region.spec.base)
+
+    # -- construction -----------------------------------------------------
+
+    def _build_region(self, spec: RegionSpec) -> _Region:
+        channels = []
+        for index in range(spec.dimms):
+            name = f"{spec.name}{index}"
+            counters = self.registry.register(name)
+            if spec.kind == "pm":
+                # Derive the device RNG stream from a *stable* hash of
+                # the name (Python's str hash is salted per process and
+                # would break cross-run determinism).
+                stream = 100 + zlib.crc32(name.encode()) % 1000
+                device = OptaneDimm(
+                    self.config.optane, counters, self.rng.fork(stream), name=name
+                )
+            else:
+                device = DramDimm(self.config.dram, counters, name=name)
+            channels.append(
+                IMCChannel(
+                    device,
+                    wpq_slots=self.config.wpq_slots,
+                    accept_latency=self.config.wpq_accept_latency,
+                    name=f"imc.{name}",
+                )
+            )
+        return _Region(spec, channels)
+
+    # -- address routing -----------------------------------------------------
+
+    def region_of(self, addr: int) -> _Region:
+        """Region containing ``addr`` (AddressError if unmapped)."""
+        for region in self._regions:
+            if region.spec.base <= addr < region.spec.end:
+                return region
+        raise AddressError(f"address {addr:#x} is outside every mapped region")
+
+    def region_spec(self, name: str) -> RegionSpec:
+        """Spec of the region called ``name``."""
+        for region in self._regions:
+            if region.spec.name == name:
+                return region.spec
+        raise AddressError(f"no region named {name!r}")
+
+    def new_core(self, name: str = "cpu0") -> "Core":
+        """Create an execution context on this machine."""
+        return Core(self, name)
+
+    # -- telemetry -----------------------------------------------------------
+
+    def counters(self, region_name: str) -> TelemetryCounters:
+        """Aggregate counters over all DIMMs of one region."""
+        return self.registry.aggregate(region_name)
+
+    def pm_counters(self) -> TelemetryCounters:
+        """Aggregate over the default local-PM region."""
+        return self.counters("pm")
+
+    # -- memory operations (called by Core) -------------------------------------
+
+    def demand_load(self, now: Cycles, addr: int, core: "Core") -> Cycles:
+        """One 64 B demand load; returns its completion time."""
+        line = cacheline_index(addr)
+        result = self.caches.access(line, is_write=False)
+        if result.hit_level is not None:
+            finish = now + result.latency
+            fill_done = self._inflight_fills.get(line)
+            if fill_done is not None and fill_done > finish:
+                finish = fill_done  # data still in flight from a prefetch
+            self._handle_llc_writebacks(result.memory_writebacks, now)
+        else:
+            finish = self._load_from_memory(now + result.latency, addr, line, core)
+        self._observe(now, line, result.hit_level)
+        return finish
+
+    def _load_from_memory(self, now: Cycles, addr: int, line: int, core: "Core") -> Cycles:
+        region = self.region_of(addr)
+        channel = region.channel_for(addr)
+        stall = channel.persist_stall(now, addr)
+        if stall is not None:
+            if core.window_contains(line):
+                # The load overtakes the flush (sfence does not order
+                # loads) and is served from the pre-flush cached copy.
+                return now + self.config.caches.l1.latency
+            if core.last_fence == "sfence":
+                stall = now + (stall - now) * (1.0 - self.config.timing.sfence_rap_overlap)
+            now = max(now, stall)
+        response = channel.read(now, addr, demand=True)
+        finish = response.finish
+        if region.spec.remote:
+            finish += region.spec.remote_read_adder
+        writebacks = self.caches.fill(line, dirty=False, into_l1=True)
+        self._handle_llc_writebacks(writebacks, now)
+        return finish
+
+    def demand_store(self, now: Cycles, addr: int, core: "Core") -> Cycles:
+        """One 64 B store through the store buffer; returns completion.
+
+        Stores retire from the store buffer whether they hit or miss —
+        the cacheline fill happens in the background either way.  This
+        is what keeps write latency flat at any working-set size
+        (Figure 8 c).
+        """
+        line = cacheline_index(addr)
+        result = self.caches.access(line, is_write=True)
+        if result.hit_level is not None:
+            finish = now + min(result.latency, self.config.timing.store_buffer_latency)
+            self._handle_llc_writebacks(result.memory_writebacks, now)
+        else:
+            # Write-allocate: the RFO read happens in the background and
+            # the store retires from the store buffer without waiting.
+            region = self.region_of(addr)
+            channel = region.channel_for(addr)
+            channel.read(now, addr, demand=True)
+            writebacks = self.caches.fill(line, dirty=True, into_l1=True)
+            self._handle_llc_writebacks(writebacks, now)
+            finish = now + self.config.timing.store_buffer_latency
+        self._observe(now, line, result.hit_level)
+        return finish
+
+    def stream_load(self, now: Cycles, addr: int) -> Cycles:
+        """One 64 B SIMD streaming load (Algorithm 2 of the paper).
+
+        Bypasses the caches (no fill) and is invisible to the
+        prefetchers — the property the redirection optimization relies
+        on to stop misprefetching.
+        """
+        region = self.region_of(addr)
+        channel = region.channel_for(addr)
+        stall = channel.persist_stall(now, addr)
+        if stall is not None:
+            now = max(now, stall)
+        response = channel.read(now, addr, demand=True)
+        finish = response.finish
+        if region.spec.remote:
+            finish += region.spec.remote_read_adder
+        return finish
+
+    def flush_line(self, now: Cycles, addr: int, core: "Core", invalidate: bool) -> Cycles:
+        """clwb / clflush(opt) of one line; returns instruction finish time."""
+        line = cacheline_index(addr)
+        timing = self.config.timing
+        retained = not invalidate
+        if invalidate:
+            dirty = self.caches.invalidate(line)
+        else:
+            dirty = self.caches.clean(line)
+        cost = timing.clwb_issue + (timing.clwb_coherence_cost if retained else 0.0)
+        if not dirty:
+            return now + cost
+        region = self.region_of(addr)
+        channel = region.channel_for(addr)
+        was_inflight = channel.persist_stall(now, addr) is not None
+        grant = channel.write(now, addr)
+        acceptance = grant.acceptance
+        if region.spec.remote:
+            acceptance += region.spec.remote_write_adder
+            channel.inflight.add(line, grant.persist_completion + region.spec.remote_persist_adder)
+        core.note_acceptance(acceptance)
+        if invalidate:
+            if was_inflight:
+                # Re-flushing a line whose previous persist is still in
+                # flight: the cache has held no valid copy since that
+                # earlier flush, so a load can no longer overtake this
+                # one and hit the caches.  This is what makes repeated
+                # flush+load of a single cacheline (B+-tree key
+                # shifting, Section 4.2) pay the full RAP cost on G1.
+                core.forget_flush(line)
+            else:
+                core.note_flush(line)
+        return max(now, grant.issue_ready) + cost
+
+    def nt_store_line(self, now: Cycles, addr: int, core: "Core") -> Cycles:
+        """One 64 B non-temporal store; returns instruction finish time."""
+        line = cacheline_index(addr)
+        self.caches.invalidate(line)
+        region = self.region_of(addr)
+        channel = region.channel_for(addr)
+        grant = channel.write(now, addr)
+        acceptance = grant.acceptance
+        if region.spec.remote:
+            acceptance += region.spec.remote_write_adder
+            channel.inflight.add(line, grant.persist_completion + region.spec.remote_persist_adder)
+        core.note_acceptance(acceptance)
+        return max(now, grant.issue_ready) + self.config.timing.ntstore_issue
+
+    # -- internals ---------------------------------------------------------------
+
+    def _observe(self, now: Cycles, line: int, hit_level: int | None) -> None:
+        if not self.prefetch.enabled:
+            return
+        for candidate in self.prefetch.observe(line, hit_level):
+            self._issue_prefetch(now, candidate)
+
+    def _issue_prefetch(self, now: Cycles, line: int) -> None:
+        addr = line * CACHELINE_SIZE
+        try:
+            region = self.region_of(addr)
+        except AddressError:
+            self.prefetch_dropped += 1
+            return
+        if self.caches.probe_level(line) is not None:
+            self.prefetch_dropped += 1
+            return
+        fill_done = self._inflight_fills.get(line)
+        if fill_done is not None and fill_done > now:
+            self.prefetch_dropped += 1
+            return
+        channel = region.channel_for(addr)
+        response = channel.read(now, addr, demand=False)
+        finish = response.finish
+        if region.spec.remote:
+            finish += region.spec.remote_read_adder
+        writebacks = self.caches.fill(line, dirty=False, into_l1=False)
+        self._handle_llc_writebacks(writebacks, now)
+        self._inflight_fills[line] = finish
+        self.prefetch_issued += 1
+        if len(self._inflight_fills) > 65536:
+            self._inflight_fills = {
+                key: value for key, value in self._inflight_fills.items() if value > now
+            }
+
+    def _handle_llc_writebacks(self, lines, now: Cycles) -> None:
+        for line in lines:
+            addr = line * CACHELINE_SIZE
+            try:
+                region = self.region_of(addr)
+            except AddressError:
+                continue
+            channel = region.channel_for(addr)
+            channel.write(now, addr)
+
+    def reset_memory_system(self) -> None:
+        """Clear caches, buffers, queues and prefetch state (not counters)."""
+        self.caches.clear()
+        self.prefetch.reset()
+        self._inflight_fills.clear()
+        for region in self._regions:
+            for channel in region.channels:
+                channel.reset()
+
+
+class Core:
+    """One hardware thread executing memory operations on a Machine."""
+
+    def __init__(self, machine: Machine, name: str = "cpu0") -> None:
+        self.machine = machine
+        self.name = name
+        self.now: Cycles = 0.0
+        self.last_fence: str = "mfence"
+        self._pending_acceptances: list[Cycles] = []
+        self._recent_flushes: deque[int] = deque(
+            maxlen=max(machine.config.timing.sfence_reorder_window, 1)
+        )
+        self.loads = 0
+        self.stores = 0
+        self.flushes = 0
+        self.fences = 0
+
+    # -- bookkeeping used by Machine -------------------------------------------
+
+    def note_acceptance(self, acceptance: Cycles) -> None:
+        """Record a flush acceptance the next fence must wait for."""
+        self._pending_acceptances.append(acceptance)
+
+    def note_flush(self, line: int) -> None:
+        """Add ``line`` to the sfence load-reorder window."""
+        self._recent_flushes.append(line)
+
+    def forget_flush(self, line: int) -> None:
+        """Drop ``line`` from the reorder window (see Machine.flush_line)."""
+        if line in self._recent_flushes:
+            self._recent_flushes.remove(line)
+
+    def window_contains(self, line: int) -> bool:
+        """True if a load may still overtake the flush of ``line``."""
+        return line in self._recent_flushes
+
+    # -- data operations ---------------------------------------------------------
+
+    def _lines(self, addr: int, size: int) -> range:
+        first = cacheline_base(addr)
+        last = cacheline_base(addr + max(size, 1) - 1)
+        return range(first, last + 1, CACHELINE_SIZE)
+
+    def load(self, addr: int, size: int = 8) -> Cycles:
+        """Load ``size`` bytes; returns the cycles this took."""
+        start = self.now
+        for line_addr in self._lines(addr, size):
+            self.loads += 1
+            self.now = self.machine.demand_load(self.now, line_addr, self)
+        return self.now - start
+
+    def store(self, addr: int, size: int = 8) -> Cycles:
+        """Store ``size`` bytes through the cache; returns cycles taken."""
+        start = self.now
+        for line_addr in self._lines(addr, size):
+            self.stores += 1
+            self.now = self.machine.demand_store(self.now, line_addr, self)
+        return self.now - start
+
+    def nt_store(self, addr: int, size: int = 64) -> Cycles:
+        """Non-temporal store of ``size`` bytes (cache-bypassing)."""
+        start = self.now
+        for line_addr in self._lines(addr, size):
+            self.stores += 1
+            self.now = self.machine.nt_store_line(self.now, line_addr, self)
+        return self.now - start
+
+    def stream_load(self, addr: int, size: int = 64) -> Cycles:
+        """SIMD streaming load (no cache fill, no prefetch training)."""
+        start = self.now
+        for line_addr in self._lines(addr, size):
+            self.loads += 1
+            self.now = (
+                self.machine.stream_load(self.now, line_addr)
+                + self.machine.config.timing.stream_load_issue
+            )
+        return self.now - start
+
+    # -- persistence primitives -----------------------------------------------------
+
+    def clwb(self, addr: int, size: int = 64) -> Cycles:
+        """Cache line write back; invalidates on G1, retains on G2."""
+        start = self.now
+        invalidate = not self.machine.config.clwb_retains
+        for line_addr in self._lines(addr, size):
+            self.flushes += 1
+            self.now = self.machine.flush_line(self.now, line_addr, self, invalidate=invalidate)
+        return self.now - start
+
+    def clflushopt(self, addr: int, size: int = 64) -> Cycles:
+        """Optimized cache line flush: always invalidates, weakly ordered."""
+        start = self.now
+        for line_addr in self._lines(addr, size):
+            self.flushes += 1
+            self.now = self.machine.flush_line(self.now, line_addr, self, invalidate=True)
+        return self.now - start
+
+    def clflush(self, addr: int, size: int = 64) -> Cycles:
+        """Legacy serializing flush: invalidates and waits for acceptance."""
+        start = self.now
+        for line_addr in self._lines(addr, size):
+            self.flushes += 1
+            self.now = self.machine.flush_line(self.now, line_addr, self, invalidate=True)
+            self.now += self.machine.config.timing.clflush_issue
+            if self._pending_acceptances:
+                self.now = max(self.now, self._pending_acceptances[-1])
+        return self.now - start
+
+    def sfence(self) -> Cycles:
+        """Store fence: waits for WPQ acceptance of prior flushes only."""
+        start = self.now
+        self.fences += 1
+        target = max(self._pending_acceptances, default=self.now)
+        self.now = max(self.now + self.machine.config.timing.sfence_cost, target)
+        self._pending_acceptances.clear()
+        self.last_fence = "sfence"
+        return self.now - start
+
+    def mfence(self) -> Cycles:
+        """Full fence: like sfence, but also orders subsequent loads."""
+        start = self.now
+        self.fences += 1
+        target = max(self._pending_acceptances, default=self.now)
+        self.now = max(self.now + self.machine.config.timing.mfence_cost, target)
+        self._pending_acceptances.clear()
+        self._recent_flushes.clear()
+        self.last_fence = "mfence"
+        return self.now - start
+
+    def fence(self, kind: str = "sfence") -> Cycles:
+        """Dispatch to sfence/mfence by name (benchmark convenience)."""
+        if kind == "sfence":
+            return self.sfence()
+        if kind == "mfence":
+            return self.mfence()
+        raise ValueError(f"unknown fence kind {kind!r}")
+
+    def tick(self, cycles: Cycles) -> None:
+        """Burn ``cycles`` of pure compute."""
+        self.now += cycles
+
+    def persist(self, addr: int, size: int = 64, fence: str = "sfence") -> Cycles:
+        """Persistence barrier: clwb over the range, then a fence."""
+        start = self.now
+        self.clwb(addr, size)
+        self.fence(fence)
+        return self.now - start

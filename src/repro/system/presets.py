@@ -1,0 +1,157 @@
+"""Testbed presets: the paper's two servers as machine configurations.
+
+``g1_machine()`` builds the 1st-generation testbed (Xeon Gold 6230 +
+100-series Optane), ``g2_machine()`` the 2nd-generation one (Xeon Gold
+5317 + 200-series Optane, eADR disabled).  Both expose the knobs the
+paper's experiments vary: number of interleaved PM DIMMs (1 or 6),
+prefetcher configuration, and optional remote-NUMA regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.cache.hierarchy import CacheHierarchyConfig
+from repro.cache.prefetch import PrefetcherConfig
+from repro.common.rng import DEFAULT_SEED
+from repro.common.units import gib
+from repro.dimm.config import DramDimmConfig, OptaneDimmConfig
+from repro.media.dram import DramConfig
+from repro.system.machine import (
+    DRAM_BASE,
+    PM_BASE,
+    REMOTE_DRAM_BASE,
+    REMOTE_DRAM_PERSIST_ADDER,
+    REMOTE_DRAM_READ_ADDER,
+    REMOTE_PM_BASE,
+    REMOTE_PM_PERSIST_ADDER,
+    REMOTE_PM_READ_ADDER,
+    CoreTiming,
+    Machine,
+    MachineConfig,
+    RegionSpec,
+)
+
+#: Address-space sizes of the preset regions.
+PM_REGION_SIZE = gib(8)
+DRAM_REGION_SIZE = gib(8)
+
+
+def _regions(
+    pm_dimms: int,
+    remote_pm: bool,
+    remote_dram: bool,
+    interleave_bytes: int = 4096,
+) -> tuple[RegionSpec, ...]:
+    regions = [
+        RegionSpec(
+            name="pm",
+            kind="pm",
+            base=PM_BASE,
+            size=PM_REGION_SIZE,
+            dimms=pm_dimms,
+            interleave_bytes=interleave_bytes,
+        ),
+        RegionSpec(name="dram", kind="dram", base=DRAM_BASE, size=DRAM_REGION_SIZE),
+    ]
+    if remote_pm:
+        regions.append(
+            RegionSpec(
+                name="pm_remote",
+                kind="pm",
+                base=REMOTE_PM_BASE,
+                size=PM_REGION_SIZE,
+                dimms=pm_dimms,
+                interleave_bytes=interleave_bytes,
+                remote=True,
+                remote_read_adder=REMOTE_PM_READ_ADDER,
+                remote_write_adder=80.0,
+                remote_persist_adder=REMOTE_PM_PERSIST_ADDER,
+            )
+        )
+    if remote_dram:
+        regions.append(
+            RegionSpec(
+                name="dram_remote",
+                kind="dram",
+                base=REMOTE_DRAM_BASE,
+                size=DRAM_REGION_SIZE,
+                remote=True,
+                remote_read_adder=REMOTE_DRAM_READ_ADDER,
+                remote_write_adder=40.0,
+                remote_persist_adder=REMOTE_DRAM_PERSIST_ADDER,
+            )
+        )
+    return tuple(regions)
+
+
+def g1_machine(
+    pm_dimms: int = 1,
+    prefetchers: PrefetcherConfig | None = None,
+    remote_pm: bool = False,
+    remote_dram: bool = False,
+    seed: int = DEFAULT_SEED,
+    **config_overrides,
+) -> Machine:
+    """The G1 testbed: Xeon Gold 6230 + 100-series Optane DCPMM."""
+    config = MachineConfig(
+        generation=1,
+        caches=CacheHierarchyConfig.g1(),
+        prefetchers=prefetchers if prefetchers is not None else PrefetcherConfig(),
+        optane=OptaneDimmConfig.g1(),
+        dram=DramDimmConfig(),
+        timing=CoreTiming(),
+        regions=_regions(pm_dimms, remote_pm, remote_dram),
+        clwb_retains=False,
+        frequency_ghz=2.1,
+        seed=seed,
+    )
+    if config_overrides:
+        config = replace(config, **config_overrides)
+    return Machine(config)
+
+
+def g2_machine(
+    pm_dimms: int = 1,
+    prefetchers: PrefetcherConfig | None = None,
+    remote_pm: bool = False,
+    remote_dram: bool = False,
+    eadr: bool = False,
+    seed: int = DEFAULT_SEED,
+    **config_overrides,
+) -> Machine:
+    """The G2 testbed: Xeon Gold 5317 + 200-series Optane, eADR off.
+
+    Differences from G1, per the paper: clwb retains the cacheline
+    (paying a coherence cost), larger on-DIMM buffers, no periodic
+    write-back, and generally higher buffer/DRAM latencies in cycles
+    (the G2 server clocks higher).
+    """
+    config = MachineConfig(
+        generation=2,
+        caches=CacheHierarchyConfig.g2(),
+        prefetchers=prefetchers if prefetchers is not None else PrefetcherConfig(),
+        optane=OptaneDimmConfig.g2(),
+        dram=DramDimmConfig(
+            persist_drain_latency=520.0,
+            media=DramConfig(read_latency=210.0, write_latency=210.0),
+        ),
+        timing=CoreTiming(clwb_coherence_cost=150.0),
+        regions=_regions(pm_dimms, remote_pm, remote_dram),
+        clwb_retains=True,
+        eadr=eadr,
+        frequency_ghz=3.0,
+        seed=seed,
+    )
+    if config_overrides:
+        config = replace(config, **config_overrides)
+    return Machine(config)
+
+
+def machine_for(generation: int, **kwargs) -> Machine:
+    """Build a preset machine by generation number (1 or 2)."""
+    if generation == 1:
+        return g1_machine(**kwargs)
+    if generation == 2:
+        return g2_machine(**kwargs)
+    raise ValueError(f"unknown Optane generation {generation}")

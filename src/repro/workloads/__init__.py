@@ -1,0 +1,43 @@
+"""Workload generation: access patterns, zipfian keys, YCSB."""
+
+from repro.workloads.patterns import (
+    circular_chain,
+    partial_write_addresses,
+    random_block_sequence,
+    strided_read_addresses,
+)
+from repro.workloads.ycsb import (
+    STANDARD_WORKLOADS,
+    Operation,
+    OpType,
+    WorkloadSpec,
+    YcsbConfig,
+    YcsbWorkload,
+    insert_only_stream,
+)
+from repro.workloads.zipf import (
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+    fnv1a_64,
+)
+
+__all__ = [
+    "circular_chain",
+    "partial_write_addresses",
+    "random_block_sequence",
+    "strided_read_addresses",
+    "STANDARD_WORKLOADS",
+    "Operation",
+    "OpType",
+    "WorkloadSpec",
+    "YcsbConfig",
+    "YcsbWorkload",
+    "insert_only_stream",
+    "LatestGenerator",
+    "ScrambledZipfianGenerator",
+    "UniformGenerator",
+    "ZipfianGenerator",
+    "fnv1a_64",
+]

@@ -1,0 +1,173 @@
+"""A YCSB-equivalent workload generator (paper Section 4 case studies).
+
+The paper drives CCEH and the B+-tree with YCSB, inserting 16 million
+16-byte key-value pairs.  This module reproduces YCSB's core: a load
+phase followed by a run phase whose operation mix and request
+distribution define the standard workloads A–F.
+
+Substitution note (DESIGN.md): the original YCSB is a Java framework;
+we reimplement the generator because only the key sequence and
+operation mix matter to the experiments.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.common.errors import ConfigError
+from repro.common.rng import DeterministicRng
+from repro.workloads.zipf import (
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+)
+
+
+class OpType(enum.Enum):
+    """YCSB operation kinds."""
+
+    READ = "read"
+    UPDATE = "update"
+    INSERT = "insert"
+    SCAN = "scan"
+    READ_MODIFY_WRITE = "rmw"
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One generated operation."""
+
+    op: OpType
+    key: int
+    #: Scan length (only meaningful for SCAN).
+    scan_length: int = 0
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Operation mix and request distribution of a workload."""
+
+    name: str
+    read: float = 0.0
+    update: float = 0.0
+    insert: float = 0.0
+    scan: float = 0.0
+    rmw: float = 0.0
+    distribution: str = "zipfian"  # zipfian | uniform | latest
+    max_scan_length: int = 100
+
+    def validate(self) -> None:
+        """Raise ConfigError unless the mix sums to 1 and fields are sane."""
+        total = self.read + self.update + self.insert + self.scan + self.rmw
+        if abs(total - 1.0) > 1e-9:
+            raise ConfigError(f"workload {self.name}: mix sums to {total}, not 1")
+        if self.distribution not in ("zipfian", "uniform", "latest"):
+            raise ConfigError(f"workload {self.name}: unknown distribution")
+
+
+#: The standard YCSB core workloads.
+WORKLOAD_A = WorkloadSpec("A", read=0.5, update=0.5)
+WORKLOAD_B = WorkloadSpec("B", read=0.95, update=0.05)
+WORKLOAD_C = WorkloadSpec("C", read=1.0)
+WORKLOAD_D = WorkloadSpec("D", read=0.95, insert=0.05, distribution="latest")
+WORKLOAD_E = WorkloadSpec("E", scan=0.95, insert=0.05)
+WORKLOAD_F = WorkloadSpec("F", read=0.5, rmw=0.5)
+
+STANDARD_WORKLOADS = {
+    spec.name: spec
+    for spec in (WORKLOAD_A, WORKLOAD_B, WORKLOAD_C, WORKLOAD_D, WORKLOAD_E, WORKLOAD_F)
+}
+
+
+@dataclass
+class YcsbConfig:
+    """Sizing of a YCSB run."""
+
+    record_count: int = 100_000
+    operation_count: int = 100_000
+    key_size: int = 16
+    value_size: int = 16
+    seed: int = 42
+    spec: WorkloadSpec = field(default_factory=lambda: WORKLOAD_A)
+
+    def validate(self) -> None:
+        """Raise ConfigError on nonsensical sizing."""
+        if self.record_count <= 0 or self.operation_count < 0:
+            raise ConfigError("record/operation counts must be positive")
+        self.spec.validate()
+
+
+class YcsbWorkload:
+    """Generates the load and run phases of one YCSB workload."""
+
+    def __init__(self, config: YcsbConfig) -> None:
+        config.validate()
+        self.config = config
+        self._rng = DeterministicRng(config.seed)
+        self._inserted = config.record_count
+        self._chooser = self._build_chooser()
+
+    def _build_chooser(self):
+        rng = self._rng.fork(1)
+        dist = self.config.spec.distribution
+        if dist == "uniform":
+            return UniformGenerator(self.config.record_count, rng)
+        if dist == "latest":
+            return LatestGenerator(self.config.record_count, rng)
+        return ScrambledZipfianGenerator(self.config.record_count, rng)
+
+    def load_phase(self) -> Iterator[Operation]:
+        """Insert every record once, in key order (YCSB's -load)."""
+        for key in range(self.config.record_count):
+            yield Operation(OpType.INSERT, key)
+
+    def _choose_key(self) -> int:
+        key = self._chooser.next()
+        return min(key, self._inserted - 1)
+
+    def run_phase(self) -> Iterator[Operation]:
+        """The measured operation stream (YCSB's -t)."""
+        spec = self.config.spec
+        thresholds = []
+        cumulative = 0.0
+        for op, weight in (
+            (OpType.READ, spec.read),
+            (OpType.UPDATE, spec.update),
+            (OpType.INSERT, spec.insert),
+            (OpType.SCAN, spec.scan),
+            (OpType.READ_MODIFY_WRITE, spec.rmw),
+        ):
+            cumulative += weight
+            thresholds.append((cumulative, op))
+        for _ in range(self.config.operation_count):
+            draw = self._rng.random()
+            op = next(op for threshold, op in thresholds if draw <= threshold + 1e-12)
+            if op is OpType.INSERT:
+                key = self._inserted
+                self._inserted += 1
+                if isinstance(self._chooser, LatestGenerator):
+                    self._chooser.note_insert()
+                yield Operation(op, key)
+            elif op is OpType.SCAN:
+                yield Operation(
+                    op,
+                    self._choose_key(),
+                    scan_length=1 + self._rng.choice_index(spec.max_scan_length),
+                )
+            else:
+                yield Operation(op, self._choose_key())
+
+
+def insert_only_stream(count: int, seed: int = 42, shuffled: bool = True) -> list[int]:
+    """The paper's case-study workload: insert ``count`` distinct keys.
+
+    The paper "used YCSB to insert 16 million 16B key-value pairs";
+    the insertion order is shuffled so the hash-table/tree access
+    pattern is random, as a hashed keyspace would be.
+    """
+    keys = list(range(count))
+    if shuffled:
+        DeterministicRng(seed).shuffle(keys)
+    return keys

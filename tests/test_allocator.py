@@ -1,0 +1,98 @@
+"""Tests for the PM/DRAM region allocators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.prefetch import PrefetcherConfig
+from repro.common.constants import XPLINE_SIZE
+from repro.common.errors import AllocationError
+from repro.persist.allocator import PmHeap, RegionAllocator
+from repro.system.presets import g1_machine
+
+
+def make_allocator(region="pm"):
+    machine = g1_machine(prefetchers=PrefetcherConfig.none())
+    return RegionAllocator(machine, region)
+
+
+class TestAlloc:
+    def test_within_region(self):
+        allocator = make_allocator()
+        addr = allocator.alloc(1024)
+        assert allocator.base <= addr < allocator.end
+
+    def test_default_cacheline_alignment(self):
+        allocator = make_allocator()
+        allocator.alloc(7)
+        addr = allocator.alloc(7)
+        assert addr % 64 == 0
+
+    def test_xpline_alignment(self):
+        allocator = make_allocator()
+        allocator.alloc(64)
+        addr = allocator.alloc_xpline()
+        assert addr % XPLINE_SIZE == 0
+
+    def test_no_overlap(self):
+        allocator = make_allocator()
+        first = allocator.alloc(256)
+        second = allocator.alloc(256)
+        assert second >= first + 256
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(AllocationError):
+            make_allocator().alloc(0)
+
+    def test_rejects_non_power_of_two_alignment(self):
+        with pytest.raises(AllocationError):
+            make_allocator().alloc(64, align=48)
+
+    def test_exhaustion(self):
+        allocator = make_allocator()
+        region_size = allocator.end - allocator.base
+        allocator.alloc(region_size - 4096)
+        with pytest.raises(AllocationError):
+            allocator.alloc(8192)
+
+
+class TestFree:
+    def test_free_and_reuse(self):
+        allocator = make_allocator()
+        addr = allocator.alloc(256)
+        allocator.free(addr, 256)
+        assert allocator.alloc(256) == addr
+
+    def test_free_outside_region_rejected(self):
+        with pytest.raises(AllocationError):
+            make_allocator().free(1, 64)
+
+    def test_bytes_in_use(self):
+        allocator = make_allocator()
+        addr = allocator.alloc(256)
+        assert allocator.bytes_in_use == 256
+        allocator.free(addr, 256)
+        assert allocator.bytes_in_use == 0
+
+
+class TestHeap:
+    def test_pm_and_dram_disjoint(self):
+        machine = g1_machine(prefetchers=PrefetcherConfig.none())
+        heap = PmHeap(machine)
+        pm = heap.pm.alloc(64)
+        dram = heap.dram.alloc(64)
+        assert machine.region_of(pm).spec.kind == "pm"
+        assert machine.region_of(dram).spec.kind == "dram"
+
+
+@settings(max_examples=25)
+@given(st.lists(st.integers(min_value=1, max_value=4096), min_size=1, max_size=60))
+def test_allocations_never_overlap(sizes):
+    allocator = make_allocator()
+    spans = []
+    for size in sizes:
+        addr = allocator.alloc(size)
+        rounded = (size + 63) & ~63
+        for start, end in spans:
+            assert addr + rounded <= start or addr >= end
+        spans.append((addr, addr + rounded))

@@ -1,0 +1,51 @@
+"""Tests for the command-line runner."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_generation_choices(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "fig2", "--generation", "3"])
+
+    def test_profile_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "fig2", "--profile", "full"])
+        assert args.profile == "full"
+
+    def test_all_expands(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "all"])
+        assert args.experiments == ["all"]
+
+
+class TestRun:
+    def test_run_fig4_smoke(self, capsys):
+        assert main(["run", "fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "Write buffer hit ratio" in out
+        assert "G1 Optane" in out
+
+    def test_run_sec33_smoke(self, capsys):
+        assert main(["run", "sec33", "--generation", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "buffers_are_separate = True" in out
+
+    def test_experiment_table_complete(self):
+        # Every experiment id the README/DESIGN mention is runnable.
+        for required in ("fig2", "fig3", "fig4", "sec33", "fig6", "fig7",
+                         "fig8", "table1", "fig10", "fig12", "fig13", "fig14"):
+            assert required in EXPERIMENTS

@@ -1,0 +1,93 @@
+"""Tests for address arithmetic in repro.common.constants."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import constants as c
+
+
+class TestBasicConstants:
+    def test_cacheline_size(self):
+        assert c.CACHELINE_SIZE == 64
+
+    def test_xpline_size(self):
+        assert c.XPLINE_SIZE == 256
+
+    def test_cachelines_per_xpline(self):
+        assert c.CACHELINES_PER_XPLINE == 4
+
+    def test_max_amplification(self):
+        assert c.MAX_AMPLIFICATION == 4.0
+
+    def test_full_mask_has_four_bits(self):
+        assert c.FULL_XPLINE_MASK == 0b1111
+
+
+class TestCachelineHelpers:
+    def test_index_of_zero(self):
+        assert c.cacheline_index(0) == 0
+
+    def test_index_of_63_is_zero(self):
+        assert c.cacheline_index(63) == 0
+
+    def test_index_of_64_is_one(self):
+        assert c.cacheline_index(64) == 1
+
+    def test_base_rounds_down(self):
+        assert c.cacheline_base(130) == 128
+
+    def test_base_of_aligned_address(self):
+        assert c.cacheline_base(192) == 192
+
+    def test_alignment_check(self):
+        assert c.is_cacheline_aligned(128)
+        assert not c.is_cacheline_aligned(129)
+
+
+class TestXplineHelpers:
+    def test_index(self):
+        assert c.xpline_index(255) == 0
+        assert c.xpline_index(256) == 1
+
+    def test_base(self):
+        assert c.xpline_base(300) == 256
+
+    def test_alignment_check(self):
+        assert c.is_xpline_aligned(512)
+        assert not c.is_xpline_aligned(576)
+
+    def test_slot_in_xpline(self):
+        assert c.cacheline_slot_in_xpline(0) == 0
+        assert c.cacheline_slot_in_xpline(64) == 1
+        assert c.cacheline_slot_in_xpline(128) == 2
+        assert c.cacheline_slot_in_xpline(192) == 3
+        assert c.cacheline_slot_in_xpline(256) == 0
+
+
+@given(st.integers(min_value=0, max_value=2**48))
+def test_cacheline_base_is_aligned_and_covers(addr):
+    base = c.cacheline_base(addr)
+    assert base % c.CACHELINE_SIZE == 0
+    assert base <= addr < base + c.CACHELINE_SIZE
+
+
+@given(st.integers(min_value=0, max_value=2**48))
+def test_xpline_base_is_aligned_and_covers(addr):
+    base = c.xpline_base(addr)
+    assert base % c.XPLINE_SIZE == 0
+    assert base <= addr < base + c.XPLINE_SIZE
+
+
+@given(st.integers(min_value=0, max_value=2**48))
+def test_slot_consistency(addr):
+    slot = c.cacheline_slot_in_xpline(addr)
+    assert 0 <= slot < 4
+    reconstructed = c.xpline_base(addr) + slot * c.CACHELINE_SIZE
+    assert reconstructed == c.cacheline_base(addr)
+
+
+@given(st.integers(min_value=0, max_value=2**40))
+def test_four_cachelines_per_xpline(line_index):
+    addr = line_index * c.CACHELINE_SIZE
+    assert c.xpline_index(addr) == line_index // 4

@@ -1,0 +1,98 @@
+"""Tests for ipmwatch-equivalent telemetry counters."""
+
+import pytest
+
+from repro.stats.counters import TelemetryCounters, TelemetryRegistry
+
+
+class TestCounters:
+    def test_start_at_zero(self):
+        counters = TelemetryCounters()
+        assert counters.imc_read_bytes == 0
+        assert counters.media_write_bytes == 0
+
+    def test_snapshot_is_independent_copy(self):
+        counters = TelemetryCounters()
+        snap = counters.snapshot()
+        counters.imc_read_bytes += 64
+        assert snap.imc_read_bytes == 0
+
+    def test_reset(self):
+        counters = TelemetryCounters(imc_read_bytes=10, media_read_bytes=20)
+        counters.reset()
+        assert counters.imc_read_bytes == 0
+        assert counters.media_read_bytes == 0
+
+
+class TestDelta:
+    def _delta(self, **after):
+        counters = TelemetryCounters()
+        snap = counters.snapshot()
+        for name, value in after.items():
+            setattr(counters, name, value)
+        return counters.delta(snap)
+
+    def test_read_amplification(self):
+        delta = self._delta(imc_read_bytes=64, media_read_bytes=256)
+        assert delta.read_amplification == 4.0
+
+    def test_write_amplification(self):
+        delta = self._delta(imc_write_bytes=128, media_write_bytes=256)
+        assert delta.write_amplification == 2.0
+
+    def test_zero_denominator_is_zero(self):
+        delta = self._delta(media_read_bytes=256)
+        assert delta.read_amplification == 0.0
+        assert delta.pm_read_ratio == 0.0
+
+    def test_pm_and_imc_read_ratios(self):
+        delta = self._delta(demand_read_bytes=256, imc_read_bytes=320, media_read_bytes=512)
+        assert delta.imc_read_ratio == 1.25
+        assert delta.pm_read_ratio == 2.0
+
+    def test_write_buffer_hit_ratio(self):
+        delta = self._delta(write_buffer_hits=3, write_buffer_misses=1)
+        assert delta.write_buffer_hit_ratio == 0.75
+
+    def test_read_buffer_hit_ratio_empty(self):
+        assert self._delta().read_buffer_hit_ratio == 0.0
+
+    def test_delta_measures_region_between_snapshots(self):
+        counters = TelemetryCounters()
+        counters.imc_read_bytes = 100
+        snap = counters.snapshot()
+        counters.imc_read_bytes = 164
+        assert counters.delta(snap).imc_read_bytes == 64
+
+
+class TestRegistry:
+    def test_register_returns_same_object(self):
+        registry = TelemetryRegistry()
+        first = registry.register("pm0")
+        second = registry.register("pm0")
+        assert first is second
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            TelemetryRegistry().get("nope")
+
+    def test_names_sorted(self):
+        registry = TelemetryRegistry()
+        registry.register("pm1")
+        registry.register("dram0")
+        registry.register("pm0")
+        assert registry.names() == ["dram0", "pm0", "pm1"]
+
+    def test_aggregate_by_prefix(self):
+        registry = TelemetryRegistry()
+        registry.register("pm0").imc_read_bytes = 10
+        registry.register("pm1").imc_read_bytes = 20
+        registry.register("dram0").imc_read_bytes = 40
+        assert registry.aggregate("pm").imc_read_bytes == 30
+        assert registry.aggregate("").imc_read_bytes == 70
+
+    def test_reset_all(self):
+        registry = TelemetryRegistry()
+        registry.register("pm0").imc_read_bytes = 10
+        registry.reset()
+        assert registry.get("pm0").imc_read_bytes == 0

@@ -1,0 +1,49 @@
+"""Smoke tests: the example scripts import and their fast paths run."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+ALL_EXAMPLES = [
+    "quickstart",
+    "cceh_helper_prefetch",
+    "btree_redo_logging",
+    "xpline_redirection",
+    "rap_explorer",
+    "ycsb_on_pm",
+    "characterize_device",
+    "analyze_workload",
+]
+
+
+@pytest.mark.parametrize("name", ALL_EXAMPLES)
+def test_example_imports(name):
+    module = load_example(name)
+    assert callable(module.main)
+
+
+def test_quickstart_runs(capsys):
+    load_example("quickstart").main()
+    out = capsys.readouterr().out
+    assert "write amplification" in out
+    assert "read amplification" in out
+
+
+def test_analyze_workload_runs(capsys):
+    load_example("analyze_workload").main()
+    out = capsys.readouterr().out
+    assert "PM" in out and "DRAM" in out

@@ -1,0 +1,74 @@
+"""Tests for the experiment harnesses (scaled-down configurations)."""
+
+import pytest
+
+from repro.experiments.cceh_harness import build_table, run_config, timed_inserts
+from repro.experiments.fig12 import run_mode
+from repro.system.presets import g1_machine
+
+
+class TestCcehHarness:
+    def test_build_table_populates(self):
+        machine = g1_machine()
+        table = build_table(machine, prepopulate=5_000)
+        assert len(table) == 5_000
+
+    def test_single_worker_run(self):
+        machine = g1_machine()
+        table = build_table(machine, prepopulate=5_000)
+        result = timed_inserts(machine, table, total_inserts=500, workers=1)
+        assert result.cycles_per_insert > 0
+        assert result.throughput_mops > 0
+
+    def test_multi_worker_contention_reduces_per_worker_speed(self):
+        machine = g1_machine()
+        table = build_table(machine, prepopulate=5_000)
+        single = timed_inserts(machine, table, total_inserts=400, workers=1, seed=1)
+
+        machine2 = g1_machine()
+        table2 = build_table(machine2, prepopulate=5_000)
+        multi = timed_inserts(machine2, table2, total_inserts=400 * 8, workers=8, seed=1)
+        # Aggregate throughput grows with workers...
+        assert multi.throughput_mops > single.throughput_mops
+        # ...but per-insert latency does not improve (shared ports).
+        assert multi.cycles_per_insert >= single.cycles_per_insert * 0.9
+
+    def test_helper_flag_runs(self):
+        machine = g1_machine()
+        table = build_table(machine, prepopulate=5_000)
+        result = timed_inserts(machine, table, total_inserts=300, workers=2, helper=True)
+        assert result.helper
+
+    def test_instrumented_breakdown(self):
+        result = run_config(
+            1, workers=1, prepopulate=5_000, total_inserts=300, instrument=True
+        )
+        fractions = result.breakdown.fractions()
+        assert abs(sum(fractions.values()) - 1.0) < 1e-9
+        assert "segment" in fractions
+
+    def test_keys_actually_inserted(self):
+        machine = g1_machine()
+        table = build_table(machine, prepopulate=1_000)
+        before = len(table)
+        timed_inserts(machine, table, total_inserts=200, workers=3)
+        assert len(table) == before + 200
+
+
+class TestBtreeHarness:
+    def test_run_mode_returns_metrics(self):
+        latency, throughput = run_mode(
+            1, "inplace", threads=1, prepopulate=3_000, total_inserts=200
+        )
+        assert latency > 0 and throughput > 0
+
+    def test_redo_beats_inplace_at_small_scale_g1(self):
+        inplace, _ = run_mode(1, "inplace", threads=1, prepopulate=3_000, total_inserts=200)
+        redo, _ = run_mode(1, "redo", threads=1, prepopulate=3_000, total_inserts=200)
+        assert redo < inplace
+
+    def test_multithreaded_run(self):
+        latency, throughput = run_mode(
+            1, "inplace", threads=3, prepopulate=3_000, total_inserts=300
+        )
+        assert latency > 0 and throughput > 0

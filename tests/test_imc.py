@@ -1,0 +1,108 @@
+"""Tests for the iMC channel: WPQ semantics and back-pressure."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.rng import DeterministicRng
+from repro.dimm.config import OptaneDimmConfig
+from repro.dimm.optane import OptaneDimm
+from repro.stats.counters import TelemetryCounters
+from repro.system.imc import IMCChannel
+
+
+def make_channel(wpq_slots=4, accept=60.0, **dimm_overrides):
+    import dataclasses
+
+    config = OptaneDimmConfig.g1()
+    if dimm_overrides:
+        config = dataclasses.replace(config, **dimm_overrides)
+    dimm = OptaneDimm(config, TelemetryCounters(), DeterministicRng(2))
+    return IMCChannel(dimm, wpq_slots=wpq_slots, accept_latency=accept)
+
+
+class TestWpqBasics:
+    def test_acceptance_after_accept_latency(self):
+        channel = make_channel()
+        grant = channel.write(0.0, 0)
+        assert grant.acceptance == 60.0
+        assert grant.issue_ready == 0.0
+
+    def test_persist_completion_far_after_acceptance(self):
+        channel = make_channel()
+        grant = channel.write(0.0, 0)
+        assert grant.persist_completion > grant.acceptance + 1000
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigError):
+            make_channel(wpq_slots=0)
+        with pytest.raises(ConfigError):
+            make_channel(accept=-1)
+
+    def test_occupancy(self):
+        channel = make_channel(wpq_slots=4)
+        channel.write(0.0, 0)
+        assert channel.wpq_occupancy(0.0) == 1
+        assert channel.wpq_occupancy(1e9) == 0
+
+
+class TestBackPressure:
+    def test_wpq_fills_under_eviction_storm(self):
+        # Distinct XPLines overflow the write buffer; each ingest then
+        # waits on a media write, keeping WPQ slots busy and delaying
+        # issue_ready for subsequent stores.
+        channel = make_channel(wpq_slots=2)
+        issue_delays = []
+        now = 0.0
+        for index in range(200):
+            grant = channel.write(now, index * 256)
+            issue_delays.append(grant.issue_ready - now)
+            now += 10.0  # offered load far above the drain rate
+        assert issue_delays[0] == 0.0
+        assert max(issue_delays[-20:]) > 100.0  # saturated steady state
+
+    def test_absorbed_writes_do_not_back_pressure(self):
+        channel = make_channel(wpq_slots=2)
+        # Hammer a handful of XPLines that fit the write buffer.
+        now = 0.0
+        delays = []
+        for index in range(100):
+            grant = channel.write(now, (index % 4) * 256 + 64)
+            delays.append(grant.issue_ready - now)
+            now = grant.acceptance
+        assert max(delays) < 100.0
+
+
+class TestSameLineHazard:
+    def test_reflush_of_inflight_line_delays_acceptance(self):
+        channel = make_channel()
+        first = channel.write(0.0, 0)
+        again = channel.write(first.acceptance + 10, 0)
+        baseline = channel.write(first.acceptance + 10, 4096)
+        assert again.acceptance - baseline.acceptance >= IMCChannel.SAME_LINE_HAZARD_CAP * 0.9
+
+    def test_no_hazard_after_completion(self):
+        channel = make_channel()
+        first = channel.write(0.0, 0)
+        later = channel.write(first.persist_completion + 10, 0)
+        assert later.acceptance - later.issue_ready == pytest.approx(channel.accept_latency)
+
+
+class TestReadSide:
+    def test_read_delegates_to_device(self):
+        channel = make_channel()
+        response = channel.read(0.0, 0)
+        assert response.finish > 0
+        assert channel.reads_issued == 1
+
+    def test_persist_stall_visibility(self):
+        channel = make_channel()
+        grant = channel.write(0.0, 0)
+        assert channel.persist_stall(grant.acceptance, 0) == grant.persist_completion
+        assert channel.persist_stall(grant.persist_completion + 1, 0) is None
+
+    def test_reset(self):
+        channel = make_channel()
+        channel.write(0.0, 0)
+        channel.reset()
+        assert channel.writes_issued == 0
+        assert channel.persist_stall(0.0, 0) is None

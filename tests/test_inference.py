@@ -1,0 +1,99 @@
+"""Tests for the black-box inference battery.
+
+These validate the paper's methodology end-to-end: configure a device
+with known (sometimes ablated) internals, run only the black-box
+probes, and check they recover the configuration.
+"""
+
+import pytest
+
+from repro.cache.prefetch import PrefetcherConfig
+from repro.common.units import kib
+from repro.core.inference import (
+    characterize,
+    infer_periodic_writeback,
+    infer_read_buffer_capacity,
+    infer_write_buffer_capacity,
+    infer_write_buffer_eviction,
+    profile_rap,
+    quiet_factory,
+)
+from repro.dimm.config import OptaneDimmConfig
+from repro.system.presets import g1_machine
+
+
+def factory_with(**optane_overrides):
+    config = OptaneDimmConfig.g1(**optane_overrides)
+
+    def build():
+        return g1_machine(prefetchers=PrefetcherConfig.none(), optane=config)
+
+    return build
+
+
+class TestReadBufferInference:
+    def test_g1_capacity(self):
+        capacity = infer_read_buffer_capacity(quiet_factory(1))
+        assert capacity == kib(16)
+
+    def test_g2_capacity(self):
+        capacity = infer_read_buffer_capacity(quiet_factory(2))
+        assert kib(21) <= capacity <= kib(22)
+
+    def test_custom_capacity_recovered(self):
+        capacity = infer_read_buffer_capacity(factory_with(read_buffer_bytes=kib(32)))
+        assert capacity == kib(32)
+
+
+class TestWriteBufferInference:
+    def test_g1_capacity(self):
+        capacity = infer_write_buffer_capacity(quiet_factory(1))
+        assert kib(11) <= capacity <= kib(12)
+
+    def test_g2_capacity(self):
+        capacity = infer_write_buffer_capacity(quiet_factory(2))
+        assert kib(15) <= capacity <= kib(16)
+
+    def test_eviction_policy_random_detected(self):
+        assert infer_write_buffer_eviction(quiet_factory(1)) == "random"
+
+    def test_eviction_policy_fifo_detected(self):
+        assert (
+            infer_write_buffer_eviction(factory_with(write_buffer_eviction="fifo")) == "fifo"
+        )
+
+
+class TestWritebackInference:
+    def test_g1_periodic(self):
+        assert infer_periodic_writeback(quiet_factory(1)) is True
+
+    def test_g2_not_periodic(self):
+        assert infer_periodic_writeback(quiet_factory(2)) is False
+
+
+class TestRapProfile:
+    def test_g1_suffers(self):
+        profile = profile_rap(quiet_factory(1))
+        assert profile.suffers_rap
+        assert profile.peak_cycles > 1500
+
+    def test_g2_clwb_does_not(self):
+        profile = profile_rap(quiet_factory(2))
+        assert not profile.suffers_rap
+
+    def test_g2_nt_store_still_suffers(self):
+        profile = profile_rap(quiet_factory(2), flush="nt-store")
+        assert profile.suffers_rap
+
+
+class TestCharacterize:
+    def test_full_battery_on_g1(self):
+        profile = characterize(quiet_factory(1))
+        assert profile.read_buffer_bytes == kib(16)
+        assert kib(11) <= profile.write_buffer_bytes <= kib(12)
+        assert profile.write_buffer_eviction == "random"
+        assert profile.periodic_writeback
+        assert profile.rap.suffers_rap
+        text = profile.describe()
+        assert "16 KB" in text
+        assert "random eviction" in text

@@ -1,0 +1,127 @@
+"""Tests for latency recording and time breakdowns."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats.latency import LatencyRecorder, TimeBreakdown, _percentile
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert _percentile([], 0.5) == 0.0
+
+    def test_single(self):
+        assert _percentile([7.0], 0.99) == 7.0
+
+    def test_median_odd(self):
+        assert _percentile([1.0, 2.0, 3.0], 0.5) == 2.0
+
+    def test_interpolation(self):
+        assert _percentile([0.0, 10.0], 0.25) == 2.5
+
+    def test_extremes(self):
+        samples = sorted(float(v) for v in range(10))
+        assert _percentile(samples, 0.0) == 0.0
+        assert _percentile(samples, 1.0) == 9.0
+
+
+class TestLatencyRecorder:
+    def test_mean_and_count(self):
+        recorder = LatencyRecorder()
+        recorder.extend([10, 20, 30])
+        assert recorder.count == 3
+        assert recorder.mean == 20.0
+
+    def test_min_max(self):
+        recorder = LatencyRecorder()
+        recorder.extend([5, 1, 9])
+        assert recorder.minimum == 1
+        assert recorder.maximum == 9
+
+    def test_stddev(self):
+        recorder = LatencyRecorder()
+        recorder.extend([2, 4, 4, 4, 5, 5, 7, 9])
+        assert recorder.stddev == pytest.approx(2.0)
+
+    def test_empty_summary(self):
+        summary = LatencyRecorder().summary()
+        assert summary.count == 0
+        assert summary.mean == 0.0
+
+    def test_summary_percentiles(self):
+        recorder = LatencyRecorder()
+        recorder.extend(range(101))
+        summary = recorder.summary()
+        assert summary.p50 == pytest.approx(50.0)
+        assert summary.p95 == pytest.approx(95.0)
+        assert summary.p99 == pytest.approx(99.0)
+
+    def test_thinning_keeps_exact_moments(self):
+        recorder = LatencyRecorder(max_samples=64)
+        recorder.extend(range(1000))
+        assert recorder.count == 1000
+        assert recorder.mean == pytest.approx(499.5)
+        assert recorder.maximum == 999
+
+    def test_thinning_bounds_memory(self):
+        recorder = LatencyRecorder(max_samples=64)
+        recorder.extend(range(10_000))
+        assert len(recorder._samples) <= 65
+
+    def test_reset(self):
+        recorder = LatencyRecorder()
+        recorder.record(5)
+        recorder.reset()
+        assert recorder.count == 0
+
+    def test_rejects_bad_max_samples(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder(max_samples=0)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=300))
+    def test_moments_match_naive(self, samples):
+        recorder = LatencyRecorder()
+        recorder.extend(samples)
+        assert recorder.mean == pytest.approx(sum(samples) / len(samples), rel=1e-9, abs=1e-6)
+        assert recorder.minimum == min(samples)
+        assert recorder.maximum == max(samples)
+
+
+class TestTimeBreakdown:
+    def test_charge_accumulates(self):
+        breakdown = TimeBreakdown()
+        breakdown.charge("read", 10)
+        breakdown.charge("read", 5)
+        assert breakdown.cycles("read") == 15
+
+    def test_unknown_bucket_zero(self):
+        assert TimeBreakdown().cycles("nothing") == 0.0
+
+    def test_fractions_sum_to_one(self):
+        breakdown = TimeBreakdown()
+        breakdown.charge("a", 30)
+        breakdown.charge("b", 70)
+        fractions = breakdown.fractions()
+        assert fractions["a"] == pytest.approx(0.3)
+        assert math.isclose(sum(fractions.values()), 1.0)
+
+    def test_fractions_of_empty(self):
+        assert TimeBreakdown().fractions() == {}
+
+    def test_merged_folds_buckets(self):
+        breakdown = TimeBreakdown()
+        breakdown.charge("directory", 10)
+        breakdown.charge("bucket", 20)
+        breakdown.charge("segment", 70)
+        merged = breakdown.merged({"directory": "misc", "bucket": "misc"})
+        assert merged.cycles("misc") == 30
+        assert merged.cycles("segment") == 70
+
+    def test_reset(self):
+        breakdown = TimeBreakdown()
+        breakdown.charge("a", 1)
+        breakdown.reset()
+        assert breakdown.total == 0

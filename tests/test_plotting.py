@@ -1,0 +1,51 @@
+"""Tests for the ASCII chart renderer."""
+
+from repro.experiments.common import ExperimentReport
+from repro.experiments.plotting import chart, sparkline
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_length_matches(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_flat_series(self):
+        line = sparkline([5.0, 5.0, 5.0])
+        assert len(set(line)) == 1
+
+    def test_monotone_series_monotone_blocks(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7, 8.0])
+        assert line == "".join(sorted(line))
+        assert line[0] == " " and line[-1] == "█"
+
+    def test_explicit_bounds(self):
+        # With a wide external scale, a small series sits low.
+        line = sparkline([1.0, 2.0], lo=0.0, hi=100.0)
+        assert line[0] in " ▁" and line[1] in " ▁"
+
+
+class TestChart:
+    def make_report(self):
+        report = ExperimentReport("t", "demo", "WSS", [1024, 2048, 4096])
+        report.add_series("up", [1.0, 2.0, 4.0])
+        report.add_series("down", [4.0, 2.0, 1.0])
+        return report
+
+    def test_contains_all_series(self):
+        text = chart(self.make_report())
+        assert "up" in text and "down" in text
+        assert "demo" in text
+
+    def test_contains_ranges(self):
+        text = chart(self.make_report())
+        assert "[1.00 .. 4.00]" in text
+
+    def test_empty_report(self):
+        report = ExperimentReport("t", "demo", "x", [1])
+        assert "(no series)" in chart(report)
+
+    def test_x_axis_note(self):
+        text = chart(self.make_report())
+        assert "3 points" in text

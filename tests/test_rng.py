@@ -1,0 +1,82 @@
+"""Tests for the deterministic RNG wrapper."""
+
+import pytest
+
+from repro.common.rng import DEFAULT_SEED, DeterministicRng
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        a = DeterministicRng(42)
+        b = DeterministicRng(42)
+        assert [a.randint(0, 100) for _ in range(20)] == [b.randint(0, 100) for _ in range(20)]
+
+    def test_different_seeds_diverge(self):
+        a = DeterministicRng(1)
+        b = DeterministicRng(2)
+        assert [a.randint(0, 10**9) for _ in range(5)] != [b.randint(0, 10**9) for _ in range(5)]
+
+    def test_default_seed_exists(self):
+        assert DeterministicRng().seed == DEFAULT_SEED
+
+
+class TestFork:
+    def test_fork_is_deterministic(self):
+        a = DeterministicRng(7).fork(3)
+        b = DeterministicRng(7).fork(3)
+        assert a.random() == b.random()
+
+    def test_forks_with_different_streams_diverge(self):
+        a = DeterministicRng(7).fork(1)
+        b = DeterministicRng(7).fork(2)
+        assert [a.randint(0, 10**9) for _ in range(5)] != [b.randint(0, 10**9) for _ in range(5)]
+
+    def test_fork_does_not_perturb_parent(self):
+        parent = DeterministicRng(9)
+        first = parent.randint(0, 10**9)
+        parent2 = DeterministicRng(9)
+        parent2.fork(5)  # forking must not consume parent entropy
+        assert parent2.randint(0, 10**9) == first
+
+
+class TestDraws:
+    def test_randint_bounds(self):
+        rng = DeterministicRng(3)
+        values = [rng.randint(5, 8) for _ in range(100)]
+        assert all(5 <= v <= 8 for v in values)
+        assert set(values) == {5, 6, 7, 8}
+
+    def test_random_in_unit_interval(self):
+        rng = DeterministicRng(3)
+        assert all(0.0 <= rng.random() < 1.0 for _ in range(100))
+
+    def test_choice_index_bounds(self):
+        rng = DeterministicRng(3)
+        assert all(0 <= rng.choice_index(7) < 7 for _ in range(100))
+
+    def test_choice_index_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DeterministicRng(3).choice_index(0)
+
+    def test_choice(self):
+        rng = DeterministicRng(3)
+        items = ["a", "b", "c"]
+        assert all(rng.choice(items) in items for _ in range(20))
+
+    def test_shuffled_preserves_input(self):
+        rng = DeterministicRng(3)
+        original = [1, 2, 3, 4, 5]
+        shuffled = rng.shuffled(original)
+        assert original == [1, 2, 3, 4, 5]
+        assert sorted(shuffled) == original
+
+    def test_shuffle_in_place_is_permutation(self):
+        rng = DeterministicRng(3)
+        items = list(range(50))
+        rng.shuffle(items)
+        assert sorted(items) == list(range(50))
+
+    def test_sample_distinct(self):
+        rng = DeterministicRng(3)
+        drawn = rng.sample(range(100), 10)
+        assert len(set(drawn)) == 10

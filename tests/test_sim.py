@@ -1,0 +1,226 @@
+"""Tests for the discrete-event core: clock, ports, inflight, scheduler."""
+
+import pytest
+
+from repro.common.errors import ConfigError, SimulationError
+from repro.sim.clock import Clock
+from repro.sim.inflight import InflightPersists
+from repro.sim.ports import ServicePorts
+from repro.sim.scheduler import GeneratorThread, ThreadScheduler
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0.0
+
+    def test_advance(self):
+        clock = Clock()
+        clock.advance(10)
+        assert clock.now == 10.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(SimulationError):
+            Clock().advance(-1)
+
+    def test_advance_to_future_only(self):
+        clock = Clock(100)
+        clock.advance_to(50)
+        assert clock.now == 100
+        clock.advance_to(150)
+        assert clock.now == 150
+
+    def test_reset(self):
+        clock = Clock(5)
+        clock.reset()
+        assert clock.now == 0.0
+
+
+class TestServicePorts:
+    def test_single_port_serializes(self):
+        ports = ServicePorts(1)
+        first = ports.acquire(0, 100)
+        second = ports.acquire(0, 100)
+        assert first.finish == 100
+        assert second.start == 100
+        assert second.finish == 200
+
+    def test_two_ports_parallel(self):
+        ports = ServicePorts(2)
+        first = ports.acquire(0, 100)
+        second = ports.acquire(0, 100)
+        assert first.finish == 100
+        assert second.finish == 100
+
+    def test_request_after_idle_starts_immediately(self):
+        ports = ServicePorts(1)
+        ports.acquire(0, 10)
+        grant = ports.acquire(500, 10)
+        assert grant.start == 500
+
+    def test_earliest_start(self):
+        ports = ServicePorts(1)
+        ports.acquire(0, 100)
+        assert ports.earliest_start(0) == 100
+        assert ports.earliest_start(300) == 300
+
+    def test_rejects_zero_ports(self):
+        with pytest.raises(ConfigError):
+            ServicePorts(0)
+
+    def test_rejects_negative_service(self):
+        with pytest.raises(ConfigError):
+            ServicePorts(1).acquire(0, -5)
+
+    def test_utilization(self):
+        ports = ServicePorts(2)
+        ports.acquire(0, 100)
+        assert ports.utilization(100) == pytest.approx(0.5)
+
+    def test_queue_statistics(self):
+        ports = ServicePorts(1)
+        ports.acquire(0, 100)
+        ports.acquire(0, 100)
+        assert ports.total_requests == 2
+        assert ports.total_queue_cycles == 100
+
+    def test_reset(self):
+        ports = ServicePorts(1)
+        ports.acquire(0, 100)
+        ports.reset()
+        assert ports.acquire(0, 10).start == 0
+
+    def test_picks_earliest_free_port(self):
+        ports = ServicePorts(2)
+        ports.acquire(0, 100)
+        ports.acquire(0, 50)
+        third = ports.acquire(0, 10)
+        assert third.start == 50
+
+
+class TestInflightPersists:
+    def test_absent_line_returns_none(self):
+        assert InflightPersists().completion_for(5, 0) is None
+
+    def test_pending_persist_visible(self):
+        inflight = InflightPersists()
+        inflight.add(5, 100)
+        assert inflight.completion_for(5, 50) == 100
+
+    def test_completed_persist_pruned(self):
+        inflight = InflightPersists()
+        inflight.add(5, 100)
+        assert inflight.completion_for(5, 150) is None
+        assert len(inflight) == 0
+
+    def test_newer_later_persist_supersedes(self):
+        inflight = InflightPersists()
+        inflight.add(5, 100)
+        inflight.add(5, 300)
+        assert inflight.completion_for(5, 50) == 300
+
+    def test_earlier_completion_does_not_regress(self):
+        inflight = InflightPersists()
+        inflight.add(5, 300)
+        inflight.add(5, 100)
+        assert inflight.completion_for(5, 50) == 300
+
+    def test_drain_time(self):
+        inflight = InflightPersists()
+        inflight.add(1, 100)
+        inflight.add(2, 250)
+        assert inflight.drain_time(0) == 250
+        assert inflight.drain_time(400) == 400
+
+    def test_pending_count(self):
+        inflight = InflightPersists()
+        inflight.add(1, 100)
+        inflight.add(2, 200)
+        assert inflight.pending_count(150) == 1
+
+    def test_clear(self):
+        inflight = InflightPersists()
+        inflight.add(1, 100)
+        inflight.clear()
+        assert inflight.completion_for(1, 0) is None
+
+
+class _CounterThread:
+    """Minimal ThreadContext: counts down steps, advancing time."""
+
+    def __init__(self, steps, stride):
+        self.now = 0.0
+        self._left = steps
+        self._stride = stride
+        self.executed = []
+
+    def step(self):
+        if self._left == 0:
+            return False
+        self._left -= 1
+        self.now += self._stride
+        self.executed.append(self.now)
+        return True
+
+
+class TestScheduler:
+    def test_runs_all_threads_to_completion(self):
+        scheduler = ThreadScheduler()
+        a = _CounterThread(3, 10)
+        b = _CounterThread(2, 100)
+        scheduler.add(a)
+        scheduler.add(b)
+        scheduler.run()
+        assert len(a.executed) == 3
+        assert len(b.executed) == 2
+
+    def test_makespan(self):
+        scheduler = ThreadScheduler()
+        a = _CounterThread(3, 10)
+        scheduler.add(a)
+        scheduler.run()
+        assert scheduler.makespan == 30
+
+    def test_causal_order(self):
+        # Steps must be dispatched in nondecreasing *start* time order:
+        # a thread whose local clock is behind always runs first.
+        scheduler = ThreadScheduler()
+        starts = []
+
+        class Recorder(_CounterThread):
+            def step(self):
+                starts.append(self.now)
+                return super().step()
+
+        scheduler.add(Recorder(5, 1))
+        scheduler.add(Recorder(2, 100))
+        scheduler.run()
+        assert starts == sorted(starts)
+
+    def test_max_steps_guard(self):
+        scheduler = ThreadScheduler()
+
+        class Forever:
+            now = 0.0
+
+            def step(self):
+                self.now += 1
+                return True
+
+        scheduler.add(Forever())
+        with pytest.raises(SimulationError):
+            scheduler.run(max_steps=10)
+
+    def test_generator_thread(self):
+        clock = Clock()
+
+        def body():
+            for _ in range(4):
+                clock.advance(5)
+                yield
+
+        thread = GeneratorThread("worker", body(), lambda: clock.now)
+        scheduler = ThreadScheduler()
+        scheduler.add(thread)
+        scheduler.run()
+        assert thread.steps == 4
+        assert clock.now == 20

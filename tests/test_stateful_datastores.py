@@ -1,0 +1,112 @@
+"""Stateful model-based tests: data stores vs a dict/sorted-dict model.
+
+Hypothesis drives random interleavings of insert/update/remove/lookup
+(plus invariant checks) against CCEH and the B+-tree, comparing every
+result with a plain dict — the strongest functional check in the
+suite.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+from hypothesis import strategies as st
+
+from repro.cache.prefetch import PrefetcherConfig
+from repro.common.errors import KeyNotFoundError
+from repro.datastores.btree import FastFairTree
+from repro.datastores.cceh import CcehHashTable
+from repro.persist.allocator import PmHeap
+from repro.system.presets import g1_machine
+
+KEYS = st.integers(min_value=0, max_value=2**32)
+VALUES = st.integers(min_value=0, max_value=2**32)
+
+
+class CcehMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        machine = g1_machine(prefetchers=PrefetcherConfig.none())
+        self.table = CcehHashTable(PmHeap(machine).pm)
+        self.model: dict[int, int] = {}
+
+    @rule(key=KEYS, value=VALUES)
+    def insert(self, key, value):
+        self.table.insert(key, value)
+        self.model[key] = value
+
+    @rule(key=KEYS)
+    def lookup(self, key):
+        if key in self.model:
+            assert self.table.get(key) == self.model[key]
+        else:
+            with pytest.raises(KeyNotFoundError):
+                self.table.get(key)
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def remove_existing(self, data):
+        key = data.draw(st.sampled_from(sorted(self.model)))
+        self.table.remove(key)
+        del self.model[key]
+        assert not self.table.contains(key)
+
+    @rule(key=KEYS)
+    def remove_missing(self, key):
+        if key not in self.model:
+            with pytest.raises(KeyNotFoundError):
+                self.table.remove(key)
+
+    @invariant()
+    def sizes_agree(self):
+        assert len(self.table) == len(self.model)
+
+    @invariant()
+    def structure_sound(self):
+        self.table.check_invariants()
+
+
+class BtreeMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        machine = g1_machine(prefetchers=PrefetcherConfig.none())
+        self.tree = FastFairTree(PmHeap(machine), mode="inplace")
+        self.model: dict[int, int] = {}
+
+    @rule(key=KEYS, value=VALUES)
+    def insert(self, key, value):
+        self.tree.insert(key, value)
+        self.model[key] = value
+
+    @rule(key=KEYS)
+    def lookup(self, key):
+        if key in self.model:
+            assert self.tree.get(key) == self.model[key]
+        else:
+            with pytest.raises(KeyNotFoundError):
+                self.tree.get(key)
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def remove_existing(self, data):
+        key = data.draw(st.sampled_from(sorted(self.model)))
+        self.tree.remove(key)
+        del self.model[key]
+
+    @rule(start=KEYS, count=st.integers(1, 20))
+    def scan(self, start, count):
+        result = self.tree.range_scan(start, count)
+        expected = sorted(k for k in self.model if k >= start)[:count]
+        assert [k for k, _ in result] == expected
+        for key, value in result:
+            assert self.model[key] == value
+
+    @invariant()
+    def structure_sound(self):
+        self.tree.check_invariants()
+
+
+TestCcehStateful = CcehMachine.TestCase
+TestCcehStateful.settings = settings(max_examples=15, stateful_step_count=40, deadline=None)
+
+TestBtreeStateful = BtreeMachine.TestCase
+TestBtreeStateful.settings = settings(max_examples=15, stateful_step_count=40, deadline=None)

@@ -1,0 +1,81 @@
+"""Tests for size formatting/parsing helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.units import GIB, KIB, MIB, fmt_size, gib, kib, mib, parse_size
+
+
+class TestConstructors:
+    def test_kib(self):
+        assert kib(16) == 16384
+
+    def test_mib(self):
+        assert mib(1) == 1024 * 1024
+
+    def test_gib(self):
+        assert gib(2) == 2 * 1024**3
+
+    def test_fractional_sizes(self):
+        assert mib(27.5) == int(27.5 * MIB)
+
+    def test_constants_consistent(self):
+        assert MIB == 1024 * KIB
+        assert GIB == 1024 * MIB
+
+
+class TestFormat:
+    def test_bytes(self):
+        assert fmt_size(100) == "100B"
+
+    def test_kilobytes(self):
+        assert fmt_size(kib(16)) == "16KB"
+
+    def test_megabytes(self):
+        assert fmt_size(mib(16)) == "16MB"
+
+    def test_gigabytes(self):
+        assert fmt_size(gib(1)) == "1GB"
+
+    def test_fractional(self):
+        assert fmt_size(mib(27.5)) == "27.5MB"
+
+
+class TestParse:
+    def test_plain_bytes(self):
+        assert parse_size("512") == 512
+        assert parse_size("512B") == 512
+
+    def test_kb(self):
+        assert parse_size("16KB") == kib(16)
+        assert parse_size("16kb") == kib(16)
+        assert parse_size("16k") == kib(16)
+        assert parse_size("16KiB") == kib(16)
+
+    def test_mb_and_gb(self):
+        assert parse_size("4MB") == mib(4)
+        assert parse_size("1GB") == gib(1)
+
+    def test_fractional(self):
+        assert parse_size("27.5MB") == int(27.5 * MIB)
+
+    def test_rejects_empty_numeric_part(self):
+        with pytest.raises(ValueError):
+            parse_size("KB")
+
+
+@given(st.integers(min_value=1, max_value=1023))
+def test_roundtrip_kib(n):
+    # Formatting is lossless below the next unit boundary.
+    assert parse_size(fmt_size(kib(n))) == kib(n)
+
+
+@given(st.integers(min_value=1, max_value=1023))
+def test_roundtrip_mib(n):
+    assert parse_size(fmt_size(mib(n))) == mib(n)
+
+
+@given(st.integers(min_value=1, max_value=1023))
+def test_roundtrip_bytes(n):
+    assert parse_size(fmt_size(n)) == n

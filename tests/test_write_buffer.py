@@ -1,0 +1,200 @@
+"""Tests for the write-combining buffer (random eviction, write-back rules)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.buffers.write_buffer import WriteBuffer
+from repro.common.errors import ConfigError
+from repro.common.rng import DeterministicRng
+
+
+def make(capacity_xplines=4, periodic=True, period=5000.0, seed=1):
+    return WriteBuffer(
+        capacity_xplines * 256,
+        rng=DeterministicRng(seed),
+        periodic_writeback=periodic,
+        writeback_period=period,
+    )
+
+
+class TestBasicWrites:
+    def test_first_write_is_miss(self):
+        buffer = make()
+        outcome = buffer.write(0.0, 10, 0)
+        assert not outcome.hit
+        assert buffer.contains(10)
+
+    def test_second_write_same_xpline_is_hit(self):
+        buffer = make()
+        buffer.write(0.0, 10, 0)
+        outcome = buffer.write(1.0, 10, 1)
+        assert outcome.hit
+
+    def test_dirty_and_present_masks(self):
+        buffer = make()
+        buffer.write(0.0, 10, 2)
+        entry = buffer.entry(10)
+        assert entry.dirty_mask == 0b0100
+        assert entry.present_mask == 0b0100
+
+    def test_servable_only_for_present_slots(self):
+        buffer = make()
+        buffer.write(0.0, 10, 1)
+        assert buffer.servable(10, 1)
+        assert not buffer.servable(10, 0)
+
+    def test_rejects_tiny_capacity(self):
+        with pytest.raises(ConfigError):
+            WriteBuffer(64, rng=DeterministicRng(1))
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ConfigError):
+            WriteBuffer(1024, rng=DeterministicRng(1), writeback_period=0)
+
+
+class TestEviction:
+    def test_overflow_evicts_exactly_one(self):
+        buffer = make(capacity_xplines=2)
+        buffer.write(0.0, 1, 0)
+        buffer.write(0.0, 2, 0)
+        outcome = buffer.write(0.0, 3, 0)
+        evictions = [w for w in outcome.writebacks if w.reason == "evict"]
+        assert len(evictions) == 1
+        assert len(buffer) == 2
+
+    def test_eviction_never_victimizes_incoming(self):
+        for seed in range(20):
+            buffer = make(capacity_xplines=2, seed=seed)
+            buffer.write(0.0, 1, 0)
+            buffer.write(0.0, 2, 0)
+            outcome = buffer.write(0.0, 3, 0)
+            assert outcome.writebacks[-1].xpline in (1, 2)
+            assert buffer.contains(3)
+
+    def test_partial_eviction_needs_underfill(self):
+        buffer = make(capacity_xplines=1, periodic=False)
+        buffer.write(0.0, 1, 0)
+        outcome = buffer.write(0.0, 2, 0)
+        assert outcome.writebacks[0].needs_underfill_read
+
+    def test_fully_written_eviction_skips_underfill(self):
+        buffer = make(capacity_xplines=1, periodic=False)
+        for slot in range(4):
+            buffer.write(0.0, 1, slot)
+        outcome = buffer.write(0.0, 2, 0)
+        assert not outcome.writebacks[0].needs_underfill_read
+
+    def test_random_eviction_varies_with_seed(self):
+        victims = set()
+        for seed in range(30):
+            buffer = make(capacity_xplines=4, seed=seed)
+            for xpline in range(4):
+                buffer.write(0.0, xpline, 0)
+            outcome = buffer.write(0.0, 99, 0)
+            victims.add(outcome.writebacks[-1].xpline)
+        assert len(victims) > 1  # not a fixed (FIFO/LRU) victim
+
+
+class TestPeriodicWriteback:
+    def test_fully_dirty_line_written_back_after_period(self):
+        buffer = make(period=1000.0)
+        for slot in range(4):
+            buffer.write(0.0, 1, slot)
+        assert buffer.poll(500.0) == ()
+        due = buffer.poll(1500.0)
+        assert len(due) == 1
+        assert due[0].reason == "periodic"
+        assert not due[0].needs_underfill_read
+        assert not buffer.contains(1)
+
+    def test_partial_line_never_periodically_written(self):
+        buffer = make(period=1000.0)
+        buffer.write(0.0, 1, 0)
+        assert buffer.poll(10_000.0) == ()
+        assert buffer.contains(1)
+
+    def test_disabled_periodic_writeback(self):
+        buffer = make(periodic=False, period=1000.0)
+        for slot in range(4):
+            buffer.write(0.0, 1, slot)
+        assert buffer.poll(10_000.0) == ()
+        assert buffer.contains(1)
+
+    def test_rewrite_of_fully_dirty_line_flushes_old_version(self):
+        # G1 semantics: writing a fully dirty XPLine again drains the
+        # completed version first — WA converges to 1 for 100% writes.
+        buffer = make(period=100_000.0)
+        for slot in range(4):
+            buffer.write(0.0, 1, slot)
+        outcome = buffer.write(1.0, 1, 0)
+        assert outcome.hit
+        rewrites = [w for w in outcome.writebacks if w.reason == "rewrite"]
+        assert len(rewrites) == 1
+        assert buffer.contains(1)  # fresh version resident
+        assert buffer.entry(1).dirty_mask == 0b0001
+
+    def test_rewrite_without_periodic_mode_coalesces(self):
+        buffer = make(periodic=False)
+        for slot in range(4):
+            buffer.write(0.0, 1, slot)
+        outcome = buffer.write(1.0, 1, 0)
+        assert outcome.hit
+        assert outcome.writebacks == ()
+
+
+class TestTransition:
+    def test_adopted_line_fully_present(self):
+        buffer = make()
+        outcome = buffer.adopt_from_read_buffer(0.0, 7, 2)
+        assert outcome.transitioned
+        entry = buffer.entry(7)
+        assert entry.present_mask == 0b1111
+        assert entry.dirty_mask == 0b0100
+
+    def test_adopted_line_eviction_skips_underfill(self):
+        buffer = make(capacity_xplines=1, periodic=False)
+        buffer.adopt_from_read_buffer(0.0, 7, 0)
+        outcome = buffer.write(0.0, 8, 0)
+        assert not outcome.writebacks[0].needs_underfill_read
+
+    def test_adoption_can_trigger_eviction(self):
+        buffer = make(capacity_xplines=1, periodic=False)
+        buffer.write(0.0, 1, 0)
+        outcome = buffer.adopt_from_read_buffer(0.0, 2, 0)
+        assert len(outcome.writebacks) == 1
+
+
+class TestDrainAll:
+    def test_drain_all_empties_buffer(self):
+        buffer = make()
+        buffer.write(0.0, 1, 0)
+        buffer.write(0.0, 2, 1)
+        writebacks = buffer.drain_all()
+        assert len(writebacks) == 2
+        assert len(buffer) == 0
+
+
+@settings(max_examples=40)
+@given(
+    st.lists(st.tuples(st.integers(0, 30), st.integers(0, 3)), max_size=300),
+    st.integers(0, 10),
+)
+def test_capacity_invariant(writes, seed):
+    buffer = make(capacity_xplines=3, seed=seed)
+    clock = 0.0
+    for xpline, slot in writes:
+        clock += 10.0
+        buffer.write(clock, xpline, slot)
+        assert len(buffer) <= buffer.capacity_lines
+
+
+@settings(max_examples=40)
+@given(st.lists(st.tuples(st.integers(0, 10), st.integers(0, 3)), max_size=200))
+def test_dirty_implies_present(writes):
+    buffer = make(capacity_xplines=4, periodic=False)
+    for xpline, slot in writes:
+        buffer.write(0.0, xpline, slot)
+        entry = buffer.entry(xpline)
+        if entry is not None:
+            assert entry.dirty_mask & ~entry.present_mask == 0
