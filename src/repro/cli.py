@@ -5,117 +5,43 @@ Usage::
     python -m repro list
     python -m repro run fig2 --generation 1
     python -m repro run fig7 fig8 --profile full
-    python -m repro run all
+    python -m repro run all --jobs 8          # parallel sweep
+    python -m repro run all                   # second time: served from cache
+    python -m repro run fig3 --force          # recompute + refresh cache
+    python -m repro run fig3 --no-cache       # bypass the cache entirely
 
-Mirrors the original artifact's ``run.py``: one command reruns an
+Mirrors the original artifact's ``run.py`` — one command reruns an
 experiment and prints the series/rows the corresponding paper figure
-plots.
+plots — but schedules everything through :mod:`repro.runner`: runs
+fan out across a process pool (``--jobs``) and results are served
+from the content-addressed on-disk cache when the same
+``(experiment, generation, profile, code version)`` configuration has
+already been computed.  The sweep summary line reports wall time,
+worker utilization and cache hit/miss counters.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
-from typing import Callable
 
-from repro.experiments import ablations, bandwidth, fig02, fig03, fig04, fig06, fig07, fig08
-from repro.experiments import fig10, fig12, fig13, fig14, interleaving, lock_handover, sec33, table1
-from repro.experiments.common import ExperimentReport
+from repro.runner import REGISTRY, ResultCache, RunRequest, run_sweep
+from repro.runner.registry import resolve_names
 
-
-def _as_reports(result) -> list[ExperimentReport]:
-    if isinstance(result, ExperimentReport):
-        return [result]
-    return list(result)
-
-
-def _run_fig02(generation: int, profile: str):
-    return [fig02.run(generation, profile)]
-
-
-def _run_fig03(generation: int, profile: str):
-    return [fig03.run(generation, profile)]
-
-
-def _run_fig04(generation: int, profile: str):
-    return [fig04.run(profile)]
-
-
-def _run_sec33(generation: int, profile: str):
-    return [sec33.as_report(sec33.run(generation, profile))]
-
-
-def _run_fig06(generation: int, profile: str):
-    return fig06.run(generation, profile)
-
-
-def _run_fig07(generation: int, profile: str):
-    return fig07.run(generation, profile)
-
-
-def _run_fig08(generation: int, profile: str):
-    return fig08.run(generation, profile)
-
-
-def _run_table1(generation: int, profile: str):
-    return [table1.as_report(table1.run(generation, profile), generation)]
-
-
-def _run_fig10(generation: int, profile: str):
-    return fig10.run(generation, profile)
-
-
-def _run_fig12(generation: int, profile: str):
-    return [fig12.run(generation, profile)]
-
-
-def _run_fig13(generation: int, profile: str):
-    return [fig13.run(generation, profile)]
-
-
-def _run_fig14(generation: int, profile: str):
-    return [fig14.run(generation, profile)]
-
-
-def _run_ablations(generation: int, profile: str):
-    return ablations.run_all()
-
-
-def _run_bandwidth(generation: int, profile: str):
-    return [bandwidth.run(generation, profile)]
-
-
-def _run_lock(generation: int, profile: str):
-    return [lock_handover.run(profile)]
-
-
-def _run_interleaving(generation: int, profile: str):
-    return [interleaving.run(generation, profile)]
-
-
-EXPERIMENTS: dict[str, tuple[str, Callable]] = {
-    "fig2": ("Figure 2 — read amplification (read buffer)", _run_fig02),
-    "fig3": ("Figure 3 — write amplification (write buffer)", _run_fig03),
-    "fig4": ("Figure 4 — write buffer hit ratio", _run_fig04),
-    "sec33": ("Section 3.3 — buffer separation & transition", _run_sec33),
-    "fig6": ("Figure 6 — prefetching into on-DIMM buffers", _run_fig06),
-    "fig7": ("Figure 7 — read-after-persist latency", _run_fig07),
-    "fig8": ("Figure 8 — latency across working-set sizes", _run_fig08),
-    "table1": ("Table 1 — CCEH insertion time breakdown", _run_table1),
-    "fig10": ("Figure 10 — CCEH helper-thread prefetching", _run_fig10),
-    "fig12": ("Figure 12 — B+-tree in-place vs redo logging", _run_fig12),
-    "fig13": ("Figure 13 — access redirection read ratios", _run_fig13),
-    "fig14": ("Figure 14 — redirection thread-scaling tradeoff", _run_fig14),
-    "ablations": ("Ablations of inferred design choices", _run_ablations),
-    "bandwidth": ("§2.2 — device bandwidth characterization", _run_bandwidth),
-    "lock": ("§3.5 — persistent lock handover latency", _run_lock),
-    "interleave": ("§2.4 — 1 vs 6 interleaved DIMMs", _run_interleaving),
-}
+#: Backwards-compatible view of the registry:
+#: name -> (description, runner callable).  Prefer repro.runner.REGISTRY.
+EXPERIMENTS = {name: (spec.title, spec.run) for name, spec in REGISTRY.items()}
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """Construct the `repro` argument parser (list / run subcommands)."""
+    """Construct the `repro` argument parser (list / run subcommands).
+
+    ``run`` exposes the runner's scheduling knobs: ``--jobs`` (process
+    fan-out; 1 = serial, no pool), ``--cache/--no-cache`` (consult and
+    populate the on-disk result cache — the default — or bypass it),
+    ``--force`` (invalidate then recompute the selected entries) and
+    ``--cache-dir`` (cache root; also settable via ``REPRO_CACHE_DIR``).
+    """
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Rerun the EuroSys'22 Optane buffering experiments in simulation.",
@@ -127,31 +53,66 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--generation", "-g", type=int, default=1, choices=(1, 2))
     run.add_argument("--profile", "-p", default="fast", choices=("fast", "full"))
     run.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help="worker processes for the sweep (default 1 = serial)",
+    )
+    cache_group = run.add_mutually_exclusive_group()
+    cache_group.add_argument(
+        "--cache", dest="cache", action="store_true", default=True,
+        help="serve/populate the on-disk result cache (default)",
+    )
+    cache_group.add_argument(
+        "--no-cache", dest="cache", action="store_false",
+        help="bypass the result cache entirely",
+    )
+    run.add_argument(
+        "--force", action="store_true",
+        help="invalidate cached entries for the selected runs and recompute",
+    )
+    run.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result cache root (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    run.add_argument(
         "--chart", action="store_true", help="render ASCII charts alongside the tables"
     )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    ``run`` builds one :class:`~repro.runner.RunRequest` per selected
+    experiment and hands the whole batch to
+    :func:`~repro.runner.run_sweep`, so ``--jobs N`` parallelism spans
+    experiments (and, for sharded experiments like fig2/fig3,
+    individual curves).  Reports print in request order as they
+    resolve; cached results are marked and cost no simulation time.
+    """
     args = build_parser().parse_args(argv)
     if args.command == "list":
-        width = max(len(name) for name in EXPERIMENTS)
-        for name, (description, _) in EXPERIMENTS.items():
-            print(f"{name.ljust(width)}  {description}")
+        width = max(len(name) for name in REGISTRY)
+        for name, spec in REGISTRY.items():
+            print(f"{name.ljust(width)}  {spec.title}")
         return 0
 
-    names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
-    unknown = [name for name in names if name not in EXPERIMENTS]
-    if unknown:
-        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
-        print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+    try:
+        names = resolve_names(args.experiments)
+    except KeyError as error:
+        print(f"unknown experiment(s): {error.args[0]}", file=sys.stderr)
+        print(f"available: {', '.join(REGISTRY)}", file=sys.stderr)
         return 2
-    for name in names:
-        description, runner = EXPERIMENTS[name]
-        print(f"### {description} (G{args.generation}, {args.profile} profile)")
-        started = time.time()
-        for report in _as_reports(runner(args.generation, args.profile)):
+
+    cache = ResultCache(args.cache_dir) if args.cache else None
+    requests = [
+        RunRequest.make(name, generation=args.generation, profile=args.profile)
+        for name in names
+    ]
+
+    def show(result) -> None:
+        spec = REGISTRY[result.request.experiment]
+        print(f"### {spec.title} (G{args.generation}, {args.profile} profile)")
+        for report in result.reports:
             print(report.render())
             if getattr(args, "chart", False):
                 from repro.experiments.plotting import chart
@@ -159,7 +120,19 @@ def main(argv: list[str] | None = None) -> int:
                 print()
                 print(chart(report))
             print()
-        print(f"[{name} done in {time.time() - started:.1f}s]\n")
+        if result.cached:
+            print(f"[{result.request.experiment} served from cache]\n")
+        else:
+            print(f"[{result.request.experiment} done in {result.wall_time:.1f}s]\n")
+
+    _, metrics = run_sweep(
+        requests, jobs=args.jobs, cache=cache, force=args.force, progress=show
+    )
+    print(f"[sweep: {len(requests)} experiment{'s' if len(requests) != 1 else ''}, "
+          f"{metrics.summary()}]")
+    if cache is not None and cache.write_errors:
+        print(f"warning: {cache.write_errors} result(s) could not be written to "
+              f"the cache at {cache.root} (ran uncached)", file=sys.stderr)
     return 0
 
 

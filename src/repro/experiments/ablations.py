@@ -45,6 +45,7 @@ def ablate_write_buffer_eviction(wss_points: list[int] | None = None) -> Experim
         title="Write-buffer hit ratio, cyclic partial writes",
         x_label="WSS",
         x_values=wss_points,
+        x_is_size=True,
     )
     for eviction in ("random", "fifo"):
         values = []
@@ -76,6 +77,7 @@ def ablate_periodic_writeback() -> ExperimentReport:
         title="WA of 100% (full-XPLine) writes",
         x_label="WSS",
         x_values=wss_points,
+        x_is_size=True,
     )
     for enabled in (True, False):
         values = []

@@ -9,6 +9,7 @@ properties against.
 from __future__ import annotations
 
 import heapq
+import json
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
@@ -26,7 +27,20 @@ class Series:
 
 @dataclass
 class ExperimentReport:
-    """A figure/table reproduction: x-axis plus one series per curve."""
+    """A figure/table reproduction: x-axis plus one series per curve.
+
+    Reports are plain data: they compare equal field-by-field and
+    round-trip losslessly through :meth:`to_json` / :meth:`from_json`,
+    which is what the on-disk result cache (:mod:`repro.runner`)
+    relies on to replay a sweep without re-simulating it.
+
+    ``x_is_size`` controls x-axis rendering in :meth:`to_csv` and
+    :meth:`render`: ``True`` pretty-prints integer x values >= 1 KiB
+    as sizes ("16KB"), ``False`` prints them verbatim, and ``None``
+    (the default) falls back to a label heuristic — labels starting
+    with "w" (e.g. "WSS") are treated as byte-valued.  Experiments
+    with byte-valued axes should set the flag explicitly.
+    """
 
     experiment_id: str
     title: str
@@ -34,6 +48,7 @@ class ExperimentReport:
     x_values: list
     series: list[Series] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    x_is_size: bool | None = None
 
     def add_series(self, name: str, values: list[float]) -> None:
         """Append one named curve (must match the x-axis length)."""
@@ -56,9 +71,47 @@ class ExperimentReport:
         return self.get(name)[self.x_values.index(x)]
 
     def _format_x(self, x) -> str:
-        if isinstance(x, int) and x >= 1024 and self.x_label.lower().startswith("w"):
+        """Render one x value, honouring the ``x_is_size`` flag."""
+        as_size = self.x_is_size
+        if as_size is None:  # legacy heuristic: "WSS"-style labels are bytes
+            as_size = self.x_label.lower().startswith("w")
+        if as_size and isinstance(x, int) and not isinstance(x, bool) and x >= 1024:
             return fmt_size(x)
         return str(x)
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable dict capturing every field of the report."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "x_label": self.x_label,
+            "x_values": list(self.x_values),
+            "series": [{"name": s.name, "values": list(s.values)} for s in self.series],
+            "notes": list(self.notes),
+            "x_is_size": self.x_is_size,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentReport":
+        """Rebuild a report from :meth:`to_dict` output (inverse mapping)."""
+        return cls(
+            experiment_id=data["experiment_id"],
+            title=data["title"],
+            x_label=data["x_label"],
+            x_values=list(data["x_values"]),
+            series=[Series(s["name"], list(s["values"])) for s in data.get("series", [])],
+            notes=list(data.get("notes", [])),
+            x_is_size=data.get("x_is_size"),
+        )
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialize to JSON; ``from_json`` restores an equal report."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentReport":
+        """Parse a report previously produced by :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
 
     def to_csv(self, precision: int = 6) -> str:
         """Comma-separated rows: header + one row per x point."""

@@ -15,30 +15,69 @@ from repro.experiments.common import ExperimentReport, buffer_wss_grid, check_pr
 from repro.system.presets import machine_for
 
 
-def run(generation: int = 1, profile: str = "fast", random_across_xplines: bool = False) -> ExperimentReport:
-    """Reproduce Figure 3 for one generation."""
+#: Cachelines written per XPLine, one plotted curve each (100%..25%).
+SERIES_WRITTEN = (4, 3, 2, 1)
+
+
+def _grid(profile: str) -> list[int]:
+    return buffer_wss_grid(step_kib=2 if profile == "fast" else 1, max_kib=32)
+
+
+def run_series(
+    generation: int = 1,
+    profile: str = "fast",
+    written: int = 4,
+    random_across_xplines: bool = False,
+) -> tuple[str, list[float]]:
+    """One curve of Figure 3: WA over the WSS grid for a write fraction.
+
+    Pure function of its arguments — the parallel runner
+    (:mod:`repro.runner`) executes these shards in worker processes
+    and recombines them with :func:`merge_series`.
+    """
     check_profile(profile)
-    wss_points = buffer_wss_grid(step_kib=2 if profile == "fast" else 1, max_kib=32)
     passes = 6 if profile == "fast" else 10
+    values = []
+    for wss in _grid(profile):
+        machine = machine_for(generation, prefetchers=PrefetcherConfig.none())
+        result = run_write_amplification(
+            machine, wss, written, passes=passes, random_across_xplines=random_across_xplines
+        )
+        values.append(result.write_amplification)
+    return f"{written * 25}% write", values
+
+
+def merge_series(
+    generation: int,
+    profile: str,
+    series: list[tuple[str, list[float]]],
+    random_across_xplines: bool = False,
+) -> ExperimentReport:
+    """Assemble Figure 3 from :func:`run_series` shards."""
     report = ExperimentReport(
         experiment_id=f"fig3-g{generation}",
         title=f"Write amplification, nt-store partial writes (G{generation})",
         x_label="WSS",
-        x_values=wss_points,
+        x_values=_grid(profile),
+        x_is_size=True,
     )
-    for written in (4, 3, 2, 1):
-        values = []
-        for wss in wss_points:
-            machine = machine_for(generation, prefetchers=PrefetcherConfig.none())
-            result = run_write_amplification(
-                machine, wss, written, passes=passes, random_across_xplines=random_across_xplines
-            )
-            values.append(result.write_amplification)
-        report.add_series(f"{written * 25}% write", values)
+    for name, values in series:
+        report.add_series(name, values)
     report.notes.append(
         "access order across XPLines: " + ("random" if random_across_xplines else "sequential")
     )
     return report
+
+
+def run(generation: int = 1, profile: str = "fast", random_across_xplines: bool = False) -> ExperimentReport:
+    """Reproduce Figure 3 for one generation."""
+    check_profile(profile)
+    return merge_series(
+        generation, profile,
+        [run_series(generation, profile, written, random_across_xplines)
+         for written in SERIES_WRITTEN],
+        random_across_xplines,
+    )
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -23,6 +23,7 @@ def run(profile: str = "fast") -> ExperimentReport:
         title="Write buffer hit ratio, random partial writes",
         x_label="WSS",
         x_values=wss_points,
+        x_is_size=True,
     )
     for generation in (1, 2):
         values = []

@@ -48,6 +48,7 @@ def run_panel(
         title=f"{panel} (G{generation})",
         x_label="WSS",
         x_values=wss_points,
+        x_is_size=True,
     )
     report.add_series(f"PM (G{generation})", pm_values)
     report.add_series(f"iMC (G{generation})", imc_values)

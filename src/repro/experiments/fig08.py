@@ -43,6 +43,7 @@ def _run_persist_panel(
         title=f"Write with {model.value} persistency (G{generation}), cycles/element",
         x_label="WSS",
         x_values=wss_points,
+        x_is_size=True,
     )
     for sequential in (True, False):
         for mode in ("clwb", "nt-store"):
@@ -68,6 +69,7 @@ def run_panel_breakdown(generation: int = 1, profile: str = "fast") -> Experimen
         title=f"Latency breakdown of pure reads and writes (G{generation})",
         x_label="WSS",
         x_values=wss_points,
+        x_is_size=True,
     )
     for sequential in (True, False):
         order = "seq" if sequential else "rand"

@@ -42,6 +42,7 @@ def run_region(generation: int, region: str, profile: str = "fast") -> Experimen
         title=f"CCEH insert on {region.upper()} (G{generation}): latency (cycles) / throughput (Mops/s)",
         x_label="workers",
         x_values=counts,
+        x_is_size=False,
     )
     report.add_series("latency CCEH", latency[False])
     report.add_series("latency CCEH+prefetch", latency[True])

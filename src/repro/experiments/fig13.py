@@ -33,6 +33,7 @@ def run(generation: int = 1, profile: str = "fast") -> ExperimentReport:
         title=f"Reducing misprefetching (G{generation}): read ratios",
         x_label="WSS",
         x_values=wss_points,
+        x_is_size=True,
     )
     report.add_series("iMC with prefetching", imc_baseline)
     report.add_series("PM with prefetching", pm_baseline)

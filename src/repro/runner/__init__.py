@@ -1,0 +1,80 @@
+"""repro.runner — parallel sweep engine with an on-disk result cache.
+
+The scheduling/caching substrate for every experiment in the
+repository.  Three pieces:
+
+* :mod:`repro.runner.registry` — every paper figure/table as an
+  :class:`ExperimentSpec` (the single registration site, picklable
+  for worker processes, with optional per-curve sharding hooks);
+* :mod:`repro.runner.cache` — a content-addressed on-disk store of
+  ``ExperimentReport`` JSON, keyed by SHA-256 of ``(experiment,
+  generation, profile, overrides, code version)``;
+* :mod:`repro.runner.engine` — :func:`run_sweep`, the process-pool
+  fan-out with cache consultation, deterministic merge order, metrics
+  (wall time, worker utilization, hit/miss counters) and graceful
+  serial fallback when no pool can be created.
+
+Typical use::
+
+    from repro.runner import ResultCache, RunRequest, run_sweep
+
+    requests = [RunRequest.make("fig2", generation=1),
+                RunRequest.make("fig7", generation=2)]
+    results, metrics = run_sweep(requests, jobs=4, cache=ResultCache())
+    for result in results:
+        for report in result.reports:
+            print(report.render())
+    print(metrics.summary())
+
+The CLI (``python -m repro run all --jobs 8``) and the benchmark
+harness are thin layers over exactly this API.
+"""
+
+from repro.runner.cache import ResultCache, code_version, default_cache_dir, request_key
+from repro.runner.engine import RunMetrics, RunRequest, RunResult, run_sweep
+from repro.runner.registry import REGISTRY, ExperimentSpec, resolve_names
+
+__all__ = [
+    "REGISTRY",
+    "ExperimentSpec",
+    "ResultCache",
+    "RunMetrics",
+    "RunRequest",
+    "RunResult",
+    "cached_call",
+    "code_version",
+    "default_cache_dir",
+    "request_key",
+    "resolve_names",
+    "run_sweep",
+]
+
+
+def cached_call(fn, *args, cache: ResultCache | None = None, **kwargs):
+    """Memoize an arbitrary report-producing call through the result cache.
+
+    For harness code (the benchmark suite, notebooks) that invokes
+    experiment functions directly rather than via :func:`run_sweep`.
+    The key covers ``fn``'s module-qualified name, its arguments and
+    the current code version; the value must be an
+    :class:`~repro.experiments.common.ExperimentReport` or a list of
+    them — anything else is computed and returned uncached.
+    """
+    from repro.experiments.common import ExperimentReport
+
+    cache = cache if cache is not None else ResultCache()
+    label = f"{fn.__module__}.{getattr(fn, '__qualname__', repr(fn))}"
+    overrides = {"args": repr(args), "kwargs": repr(sorted(kwargs.items()))}
+    key = request_key(f"call:{label}", 0, "direct", overrides)
+    entry = cache.load_entry(key)
+    if entry is not None:
+        reports, meta = entry
+        return reports[0] if meta.get("shape") == "report" else reports
+    result = fn(*args, **kwargs)
+    if isinstance(result, ExperimentReport):
+        cache.store(key, [result], {"call": label, "shape": "report", **overrides})
+    elif isinstance(result, list) and result and all(
+        isinstance(item, ExperimentReport) for item in result
+    ):
+        cache.store(key, result, {"call": label, "shape": "list", **overrides})
+    return result

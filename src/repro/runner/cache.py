@@ -1,0 +1,200 @@
+"""Content-addressed on-disk cache for experiment results.
+
+Every sweep in :mod:`repro.experiments` is a pure function of
+``(experiment, generation, profile, config overrides)`` plus the
+simulator source itself, so its reports can be cached on disk and
+replayed instead of re-simulated.  The cache key is a SHA-256 over the
+canonical JSON encoding of exactly those inputs plus
+:func:`code_version` — a digest of every ``repro`` source file — so
+any code change, however small, invalidates every cached result
+without ever serving a stale one.
+
+Layout on disk (human-inspectable, one JSON file per entry)::
+
+    <root>/<key[:2]>/<key>.json
+        {"key": ..., "request": {...}, "code_version": ...,
+         "created": ..., "wall_time": ..., "reports": [...]}
+
+The root defaults to ``~/.cache/repro`` and is overridden by the
+``REPRO_CACHE_DIR`` environment variable or the CLI ``--cache-dir``
+flag.  Entries are written atomically (temp file + rename), so a
+killed run never leaves a truncated entry behind; unreadable entries
+are treated as misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.experiments.common import ExperimentReport
+
+_CODE_VERSION: str | None = None
+
+
+def code_version() -> str:
+    """Digest of every ``repro`` source file (cached per process).
+
+    Part of every cache key: editing any module under ``src/repro``
+    changes this digest and therefore invalidates all cached results.
+    Set ``REPRO_CODE_VERSION`` to pin an explicit version string
+    instead (useful in tests and hermetic CI).
+    """
+    global _CODE_VERSION
+    pinned = os.environ.get("REPRO_CODE_VERSION")
+    if pinned:
+        return pinned
+    if _CODE_VERSION is None:
+        import repro
+
+        package_root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+        _CODE_VERSION = digest.hexdigest()
+    return _CODE_VERSION
+
+
+def default_cache_dir() -> Path:
+    """Cache root: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+def request_key(
+    experiment: str,
+    generation: int,
+    profile: str,
+    overrides: dict | None = None,
+    version: str | None = None,
+) -> str:
+    """Stable cache key for one experiment configuration.
+
+    SHA-256 over the canonical (sorted-keys, no-whitespace) JSON of
+    ``(experiment, generation, profile, overrides, code version)``.
+    Two processes — or two runs weeks apart — computing the key for
+    the same configuration on the same source tree get the same hex
+    digest.
+    """
+    payload = {
+        "experiment": experiment,
+        "generation": generation,
+        "profile": profile,
+        "overrides": dict(sorted((overrides or {}).items())),
+        "code_version": version if version is not None else code_version(),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class ResultCache:
+    """On-disk result store with hit/miss accounting.
+
+    Thread- and process-safe for the access pattern the runner uses
+    (atomic writes, reads that tolerate missing files); ``hits`` and
+    ``misses`` count this instance's lookups only.
+    """
+
+    def __init__(self, root: Path | str | None = None):
+        """Open (and lazily create) the cache rooted at ``root``.
+
+        ``root=None`` resolves via :func:`default_cache_dir`.
+        """
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.write_errors = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> list[ExperimentReport] | None:
+        """Reports cached under ``key``, or ``None`` on a miss.
+
+        Corrupt or unreadable entries count as misses (and are left in
+        place for post-mortem inspection; a subsequent store simply
+        overwrites them).
+        """
+        entry = self.load_entry(key)
+        return None if entry is None else entry[0]
+
+    def load_entry(self, key: str) -> tuple[list[ExperimentReport], dict] | None:
+        """Like :meth:`load` but also returns the entry's request metadata."""
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+            reports = [ExperimentReport.from_dict(entry) for entry in payload["reports"]]
+            request = dict(payload.get("request") or {})
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return reports, request
+
+    def store(
+        self,
+        key: str,
+        reports: list[ExperimentReport],
+        request: dict | None = None,
+        wall_time: float | None = None,
+    ) -> Path | None:
+        """Atomically persist ``reports`` under ``key``; returns the path.
+
+        ``request`` and ``wall_time`` are stored as metadata so a
+        human browsing the cache can tell which configuration produced
+        an entry and what it originally cost to compute.
+
+        An unwritable cache root (read-only filesystem, bad
+        ``--cache-dir``) must never lose a computed result, so write
+        failures degrade to uncached operation: the entry is skipped,
+        ``write_errors`` is incremented, and ``None`` is returned.
+        """
+        path = self._path(key)
+        payload = {
+            "key": key,
+            "request": request or {},
+            "code_version": code_version(),
+            "created": time.time(),
+            "wall_time": wall_time,
+            "reports": [report.to_dict() for report in reports],
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(json.dumps(payload, indent=1))
+            tmp.replace(path)
+        except OSError:
+            self.write_errors += 1
+            return None
+        return path
+
+    def invalidate(self, key: str) -> bool:
+        """Drop one entry (used by ``--force``); True if it existed."""
+        path = self._path(key)
+        try:
+            path.unlink()
+            return True
+        except FileNotFoundError:
+            return False
+
+    def clear(self) -> int:
+        """Remove every entry under the cache root; returns the count."""
+        removed = 0
+        if self.root.exists():
+            for path in self.root.rglob("*.json"):
+                path.unlink()
+                removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        """Number of entries currently on disk."""
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.rglob("*.json"))

@@ -1,0 +1,272 @@
+"""Process-pool sweep engine: fan experiments out, cache what they return.
+
+:func:`run_sweep` is the one entry point.  Given a list of
+:class:`RunRequest` it
+
+1. consults the on-disk :class:`~repro.runner.cache.ResultCache`
+   (unless disabled) and serves hits without simulating anything;
+2. fans the misses out over a ``ProcessPoolExecutor`` — whole
+   experiments, or individual sweep shards when the registry spec
+   exposes ``subtasks``/``merge`` hooks (Figures 2 and 3 ship one
+   shard per plotted curve);
+3. merges shard results *in declaration order*, so scheduling is
+   deterministic: the reports are byte-identical whatever the
+   completion order — ``--jobs 4`` output equals ``--jobs 1`` output;
+4. falls back to in-process serial execution whenever a pool cannot
+   be created or dies mid-flight (sandboxes without ``sem_open``,
+   ``fork`` restrictions, OOM-killed workers) — the sweep always
+   completes.
+
+Results come back in request order together with a
+:class:`RunMetrics` carrying per-experiment wall times, cache hit/miss
+counters and worker utilization (busy time / (wall x jobs)).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments.common import ExperimentReport, check_profile
+from repro.runner.cache import ResultCache, request_key
+from repro.runner.registry import REGISTRY, ExperimentSpec
+
+#: Exceptions that mean "no process pool here" rather than "the
+#: experiment is broken": missing /dev/shm semaphores, fork limits,
+#: interpreter shutdown races.  Anything else propagates.
+_POOL_ERRORS = (OSError, PermissionError, ImportError, NotImplementedError,
+                RuntimeError, BrokenProcessPool)
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One cacheable unit of sweep work.
+
+    ``overrides`` are extra keyword arguments forwarded to the
+    experiment's ``run`` callable (stored as a sorted item tuple so
+    the request is hashable); they participate in the cache key, so
+    distinct configurations never collide.  Override values must be
+    JSON-serializable — the key is a hash of their canonical JSON.
+    """
+
+    experiment: str
+    generation: int = 1
+    profile: str = "fast"
+    overrides: tuple = ()
+
+    @classmethod
+    def make(cls, experiment: str, generation: int = 1, profile: str = "fast",
+             overrides: dict | None = None) -> "RunRequest":
+        """Build a request, normalizing ``overrides`` to sorted items."""
+        check_profile(profile)
+        return cls(experiment, generation, profile,
+                   tuple(sorted((overrides or {}).items())))
+
+    def key(self) -> str:
+        """The request's content-addressed cache key (see cache.py)."""
+        return request_key(self.experiment, self.generation, self.profile,
+                           dict(self.overrides))
+
+    def describe(self) -> dict:
+        """JSON-friendly form, stored as cache-entry metadata."""
+        return {
+            "experiment": self.experiment,
+            "generation": self.generation,
+            "profile": self.profile,
+            "overrides": dict(self.overrides),
+        }
+
+
+@dataclass
+class RunResult:
+    """Outcome of one request: its reports plus how they were obtained."""
+
+    request: RunRequest
+    reports: list[ExperimentReport]
+    wall_time: float
+    cached: bool
+    key: str
+
+
+@dataclass
+class RunMetrics:
+    """Aggregate accounting for one :func:`run_sweep` invocation."""
+
+    jobs: int = 1
+    wall_time: float = 0.0
+    busy_time: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    pool_fallback: bool = False
+
+    def utilization(self) -> float:
+        """Worker busy fraction: busy time / (wall time x jobs)."""
+        if self.wall_time <= 0 or self.jobs <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / (self.wall_time * self.jobs))
+
+    def summary(self) -> str:
+        """One-line human summary (the CLI prints this after a sweep)."""
+        parts = [
+            f"{self.wall_time:.1f}s wall",
+            f"jobs={self.jobs}",
+            f"utilization={self.utilization():.0%}",
+            f"cache: {self.cache_hits} hit{'s' if self.cache_hits != 1 else ''}"
+            f" / {self.cache_misses} miss{'es' if self.cache_misses != 1 else ''}",
+        ]
+        if self.pool_fallback:
+            parts.append("pool unavailable -> ran serially")
+        return ", ".join(parts)
+
+
+def _spec_for(request: RunRequest) -> ExperimentSpec:
+    try:
+        return REGISTRY[request.experiment]
+    except KeyError:
+        raise KeyError(f"unknown experiment {request.experiment!r}; "
+                       f"known: {', '.join(REGISTRY)}") from None
+
+
+def _execute(request: RunRequest) -> tuple[list[dict], float]:
+    """Run one whole experiment (worker-process entry point).
+
+    Returns ``(report dicts, wall seconds)``; dicts rather than
+    dataclasses so the parent deserializes through the same
+    ``ExperimentReport.from_dict`` path the cache uses.
+    """
+    spec = _spec_for(request)
+    started = time.perf_counter()
+    if request.overrides:
+        reports = spec.run(request.generation, request.profile, **dict(request.overrides))
+    else:
+        reports = spec.run(request.generation, request.profile)
+    wall = time.perf_counter() - started
+    return [report.to_dict() for report in reports], wall
+
+
+def _execute_subtask(experiment: str, index: int, generation: int, profile: str):
+    """Run shard ``index`` of one experiment (worker-process entry point).
+
+    Shards are re-derived from the registry inside the worker, so only
+    ``(experiment name, index)`` crosses the process boundary.
+    """
+    spec = REGISTRY[experiment]
+    tasks = spec.subtasks(generation, profile)
+    started = time.perf_counter()
+    result = tasks[index](generation, profile)
+    return result, time.perf_counter() - started
+
+
+def _finish(request: RunRequest, spec: ExperimentSpec, shard_results: list,
+            busy: float) -> tuple[list[ExperimentReport], float]:
+    """Merge shard results back into full reports."""
+    reports = spec.merge(request.generation, request.profile, shard_results)
+    return reports, busy
+
+
+def _run_pooled(requests: list[RunRequest], jobs: int,
+                outcomes: dict) -> None:
+    """Fan ``requests`` out over a process pool, filling ``outcomes``.
+
+    Experiments whose spec exposes sharding hooks (and that carry no
+    overrides, which the shard signature cannot forward) are split one
+    future per shard; everything else is one future per experiment.
+    Raises one of ``_POOL_ERRORS`` if the pool cannot be used — the
+    caller re-runs whatever is missing from ``outcomes`` in-process.
+    """
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        plain: dict[RunRequest, object] = {}
+        sharded: dict[RunRequest, list] = {}
+        for request in requests:
+            spec = _spec_for(request)
+            if spec.subtasks is not None and spec.merge is not None and not request.overrides:
+                count = len(spec.subtasks(request.generation, request.profile))
+                sharded[request] = [
+                    pool.submit(_execute_subtask, request.experiment, index,
+                                request.generation, request.profile)
+                    for index in range(count)
+                ]
+            else:
+                plain[request] = pool.submit(_execute, request)
+        for request, future in plain.items():
+            dicts, wall = future.result()
+            outcomes[request] = ([ExperimentReport.from_dict(d) for d in dicts], wall)
+        for request, futures in sharded.items():
+            results, busy = [], 0.0
+            for future in futures:  # declaration order == merge order
+                result, wall = future.result()
+                results.append(result)
+                busy += wall
+            outcomes[request] = _finish(request, _spec_for(request), results, busy)
+
+
+def run_sweep(
+    requests: list[RunRequest],
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    force: bool = False,
+    progress: Callable[[RunResult], None] | None = None,
+) -> tuple[list[RunResult], RunMetrics]:
+    """Execute ``requests``, returning results in request order.
+
+    ``cache=None`` disables caching entirely.  ``force=True`` drops
+    any cached entry for each request before running, so everything is
+    recomputed (and re-stored).  ``jobs`` caps the worker processes; 1
+    means in-process serial execution with no pool at all.
+    ``progress`` is invoked once per completed request, in request
+    order, as results become available.
+
+    Determinism: every experiment is a pure function of its request,
+    and shard merges happen in declaration order, so the returned
+    reports are identical for any ``jobs`` value.
+    """
+    metrics = RunMetrics(jobs=max(1, jobs))
+    started = time.perf_counter()
+
+    def emit(result: RunResult) -> None:
+        if progress is not None:
+            progress(result)
+
+    results: dict[RunRequest, RunResult] = {}
+    pending: list[RunRequest] = []
+    for request in requests:
+        key = request.key()
+        if cache is not None and force:
+            cache.invalidate(key)
+        hit = cache.load(key) if cache is not None and not force else None
+        if hit is not None:
+            metrics.cache_hits += 1
+            results[request] = RunResult(request, hit, 0.0, True, key)
+            emit(results[request])
+        else:
+            metrics.cache_misses += 1
+            pending.append(request)
+
+    def finalize(request: RunRequest, reports: list[ExperimentReport], wall: float) -> None:
+        key = request.key()
+        if cache is not None:
+            cache.store(key, reports, request.describe(), wall)
+        metrics.busy_time += wall
+        results[request] = RunResult(request, reports, wall, False, key)
+        emit(results[request])
+
+    outcomes: dict[RunRequest, tuple[list[ExperimentReport], float]] = {}
+    if pending and metrics.jobs > 1:
+        try:
+            _run_pooled(pending, metrics.jobs, outcomes)
+        except _POOL_ERRORS:
+            metrics.pool_fallback = True
+        for request in pending:
+            if request in outcomes:
+                reports, wall = outcomes[request]
+                finalize(request, reports, wall)
+    for request in pending:
+        if request not in outcomes:  # jobs=1, or the pool died under us
+            dicts, wall = _execute(request)
+            finalize(request, [ExperimentReport.from_dict(d) for d in dicts], wall)
+
+    metrics.wall_time = time.perf_counter() - started
+    return [results[request] for request in requests], metrics

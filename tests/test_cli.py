@@ -5,6 +5,13 @@ import pytest
 from repro.cli import EXPERIMENTS, build_parser, main
 
 
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Keep CLI runs from touching the user's real result cache."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.setenv("REPRO_CODE_VERSION", "cli-test-version")
+
+
 class TestParser:
     def test_list_command(self, capsys):
         assert main(["list"]) == 0
@@ -31,6 +38,20 @@ class TestParser:
         args = parser.parse_args(["run", "all"])
         assert args.experiments == ["all"]
 
+    def test_runner_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "fig2", "-j", "8", "--force", "--cache-dir", "/tmp/x"])
+        assert args.jobs == 8 and args.force and args.cache_dir == "/tmp/x"
+        assert args.cache  # caching is the default
+
+    def test_no_cache_flag(self):
+        args = build_parser().parse_args(["run", "fig2", "--no-cache"])
+        assert not args.cache
+
+    def test_cache_flags_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig2", "--cache", "--no-cache"])
+
 
 class TestRun:
     def test_run_fig4_smoke(self, capsys):
@@ -38,11 +59,39 @@ class TestRun:
         out = capsys.readouterr().out
         assert "Write buffer hit ratio" in out
         assert "G1 Optane" in out
+        assert "cache: 0 hits / 1 miss" in out
 
     def test_run_sec33_smoke(self, capsys):
         assert main(["run", "sec33", "--generation", "2"]) == 0
         out = capsys.readouterr().out
         assert "buffers_are_separate = True" in out
+
+    def test_second_run_served_from_cache(self, capsys):
+        assert main(["run", "sec33"]) == 0
+        first = capsys.readouterr().out
+        assert "cache: 0 hits / 1 miss" in first
+        assert main(["run", "sec33"]) == 0
+        second = capsys.readouterr().out
+        assert "[sec33 served from cache]" in second
+        assert "cache: 1 hit / 0 misses" in second
+        # The rendered report is identical either way.
+        table = lambda out: [l for l in out.splitlines() if l.startswith(" ") or "==" in l]
+        assert table(first) == table(second)
+
+    def test_force_recomputes(self, capsys):
+        assert main(["run", "sec33"]) == 0
+        capsys.readouterr()
+        assert main(["run", "sec33", "--force"]) == 0
+        out = capsys.readouterr().out
+        assert "cache: 0 hits / 1 miss" in out
+        assert "served from cache" not in out
+
+    def test_no_cache_bypasses(self, capsys):
+        assert main(["run", "sec33", "--no-cache"]) == 0
+        capsys.readouterr()
+        assert main(["run", "sec33", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "served from cache" not in out
 
     def test_experiment_table_complete(self):
         # Every experiment id the README/DESIGN mention is runnable.

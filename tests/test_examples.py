@@ -27,6 +27,7 @@ ALL_EXAMPLES = [
     "ycsb_on_pm",
     "characterize_device",
     "analyze_workload",
+    "parallel_sweep",
 ]
 
 

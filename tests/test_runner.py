@@ -1,0 +1,282 @@
+"""Tests for repro.runner: cache, engine, registry, determinism."""
+
+import json
+
+import pytest
+
+from repro.experiments.common import ExperimentReport
+from repro.runner import (
+    REGISTRY,
+    ExperimentSpec,
+    ResultCache,
+    RunRequest,
+    cached_call,
+    code_version,
+    request_key,
+    resolve_names,
+    run_sweep,
+)
+from repro.runner import engine as engine_module
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Every test gets its own cache root and a pinned code version."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.setenv("REPRO_CODE_VERSION", "test-code-version")
+
+
+def make_report(experiment_id="syn", value=1.0):
+    report = ExperimentReport(experiment_id, "synthetic", "x", [1, 2])
+    report.add_series("s", [value, value * 2])
+    report.notes.append("a note")
+    return report
+
+
+CALLS = {"count": 0}
+
+
+def _synthetic_run(generation, profile):
+    CALLS["count"] += 1
+    return [make_report(f"syn-g{generation}-{profile}")]
+
+
+@pytest.fixture
+def synthetic(monkeypatch):
+    """Register a cheap experiment and reset its invocation counter."""
+    spec = ExperimentSpec("syn", "synthetic experiment", _synthetic_run)
+    monkeypatch.setitem(REGISTRY, "syn", spec)
+    CALLS["count"] = 0
+    return spec
+
+
+class TestRequestKey:
+    def test_stable(self):
+        assert request_key("fig2", 1, "fast") == request_key("fig2", 1, "fast")
+
+    def test_varies_with_every_component(self):
+        base = request_key("fig2", 1, "fast")
+        assert request_key("fig3", 1, "fast") != base
+        assert request_key("fig2", 2, "fast") != base
+        assert request_key("fig2", 1, "full") != base
+        assert request_key("fig2", 1, "fast", {"k": 1}) != base
+        assert request_key("fig2", 1, "fast", version="other") != base
+
+    def test_override_order_irrelevant(self):
+        assert request_key("e", 1, "fast", {"a": 1, "b": 2}) == request_key(
+            "e", 1, "fast", {"b": 2, "a": 1}
+        )
+
+    def test_code_version_pinned_by_env(self):
+        assert code_version() == "test-code-version"
+
+
+class TestResultCache:
+    def test_miss_then_hit(self):
+        cache = ResultCache()
+        assert cache.load("0" * 64) is None
+        cache.store("0" * 64, [make_report()])
+        loaded = cache.load("0" * 64)
+        assert loaded == [make_report()]
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_invalidate(self):
+        cache = ResultCache()
+        cache.store("1" * 64, [make_report()])
+        assert cache.invalidate("1" * 64)
+        assert not cache.invalidate("1" * 64)
+        assert cache.load("1" * 64) is None
+
+    def test_corrupt_entry_is_a_miss(self):
+        cache = ResultCache()
+        path = cache.store("2" * 64, [make_report()])
+        path.write_text("{not json")
+        assert cache.load("2" * 64) is None
+
+    def test_clear_and_len(self):
+        cache = ResultCache()
+        cache.store("3" * 64, [make_report()])
+        cache.store("4" * 64, [make_report()])
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+    def test_unwritable_root_degrades_to_uncached(self):
+        cache = ResultCache("/proc/nonexistent-cache-root")
+        assert cache.store("6" * 64, [make_report()]) is None
+        assert cache.write_errors == 1
+        assert cache.load("6" * 64) is None  # a miss, not an exception
+
+    def test_entry_records_request_metadata(self):
+        cache = ResultCache()
+        path = cache.store("5" * 64, [make_report()], {"experiment": "syn"}, 1.5)
+        payload = json.loads(path.read_text())
+        assert payload["request"] == {"experiment": "syn"}
+        assert payload["wall_time"] == 1.5
+        assert payload["code_version"] == "test-code-version"
+
+
+class TestReportRoundTrip:
+    def test_json_round_trip_equality(self):
+        report = make_report()
+        report.x_is_size = True
+        assert ExperimentReport.from_json(report.to_json()) == report
+
+    def test_round_trip_preserves_notes_and_formatting(self):
+        report = ExperimentReport("t", "t", "bytes", [4096, 16384], x_is_size=True)
+        report.add_series("lat", [1.25, 2.5])
+        report.notes.append("calibrated")
+        clone = ExperimentReport.from_json(report.to_json())
+        assert clone.notes == ["calibrated"]
+        assert clone.render() == report.render()
+        assert clone.to_csv() == report.to_csv()
+        assert "4KB" in clone.to_csv()
+
+
+class TestFormatX:
+    def test_explicit_size_flag_formats_any_label(self):
+        report = ExperimentReport("t", "t", "bytes", [16384], x_is_size=True)
+        report.add_series("s", [1.0])
+        assert "16KB" in report.render()
+
+    def test_explicit_false_disables_heuristic(self):
+        report = ExperimentReport("t", "t", "WSS", [16384], x_is_size=False)
+        report.add_series("s", [1.0])
+        assert "16384" in report.render()
+        assert "16KB" not in report.render()
+
+    def test_legacy_heuristic_still_applies_when_unset(self):
+        report = ExperimentReport("t", "t", "WSS", [16384])
+        report.add_series("s", [1.0])
+        assert "16KB" in report.render()
+
+    def test_csv_and_table_agree(self):
+        report = ExperimentReport("t", "t", "size", [65536], x_is_size=True)
+        report.add_series("s", [1.0])
+        assert "64KB" in report.to_csv()
+        assert "64KB" in report.render()
+
+
+class TestRunSweep:
+    def test_cache_miss_then_hit(self, synthetic):
+        cache = ResultCache()
+        requests = [RunRequest.make("syn")]
+        first, metrics1 = run_sweep(requests, cache=cache)
+        assert metrics1.cache_misses == 1 and metrics1.cache_hits == 0
+        assert not first[0].cached
+        second, metrics2 = run_sweep(requests, cache=cache)
+        assert metrics2.cache_hits == 1 and metrics2.cache_misses == 0
+        assert second[0].cached
+        assert second[0].reports == first[0].reports
+        assert CALLS["count"] == 1
+
+    def test_force_recomputes(self, synthetic):
+        cache = ResultCache()
+        requests = [RunRequest.make("syn")]
+        run_sweep(requests, cache=cache)
+        results, metrics = run_sweep(requests, cache=cache, force=True)
+        assert metrics.cache_misses == 1 and metrics.cache_hits == 0
+        assert not results[0].cached
+        assert CALLS["count"] == 2
+        # --force also refreshed the entry, so a third run hits again.
+        _, metrics3 = run_sweep(requests, cache=cache)
+        assert metrics3.cache_hits == 1
+
+    def test_no_cache_always_computes(self, synthetic):
+        requests = [RunRequest.make("syn")]
+        run_sweep(requests, cache=None)
+        run_sweep(requests, cache=None)
+        assert CALLS["count"] == 2
+
+    def test_results_in_request_order(self, synthetic):
+        requests = [RunRequest.make("syn", generation=2), RunRequest.make("syn")]
+        results, _ = run_sweep(requests)
+        assert [r.request.generation for r in results] == [2, 1]
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            run_sweep([RunRequest.make("nope")])
+
+    def test_progress_callback_sees_everything(self, synthetic):
+        cache = ResultCache()
+        seen = []
+        run_sweep([RunRequest.make("syn")], cache=cache, progress=seen.append)
+        run_sweep([RunRequest.make("syn")], cache=cache, progress=seen.append)
+        assert [result.cached for result in seen] == [False, True]
+
+    def test_pool_failure_falls_back_to_serial(self, synthetic, monkeypatch):
+        def broken_pool(*args, **kwargs):
+            raise OSError("no semaphores in this sandbox")
+
+        monkeypatch.setattr(engine_module, "ProcessPoolExecutor", broken_pool)
+        results, metrics = run_sweep([RunRequest.make("syn")], jobs=4)
+        assert metrics.pool_fallback
+        assert results[0].reports == [make_report("syn-g1-fast")]
+
+    def test_metrics_summary_mentions_cache_counters(self, synthetic):
+        cache = ResultCache()
+        _, metrics = run_sweep([RunRequest.make("syn")], cache=cache)
+        assert "0 hits / 1 miss" in metrics.summary()
+
+
+class TestDeterminismAcrossJobs:
+    def test_jobs1_equals_jobs4_including_shards(self):
+        # sec33 is unsharded and cheap; fig2 exercises the per-curve
+        # shard/merge path.  Real pool where available, serial
+        # fallback otherwise — results must be identical either way.
+        requests = [RunRequest.make("sec33"), RunRequest.make("fig2")]
+        serial, _ = run_sweep(requests, jobs=1)
+        parallel, _ = run_sweep(requests, jobs=4)
+        for a, b in zip(serial, parallel):
+            assert [r.to_dict() for r in a.reports] == [r.to_dict() for r in b.reports]
+
+
+class TestRegistry:
+    def test_resolve_all(self):
+        assert resolve_names(["all"]) == list(REGISTRY)
+
+    def test_resolve_unknown(self):
+        with pytest.raises(KeyError):
+            resolve_names(["fig2", "fig99"])
+
+    def test_sharded_specs_expose_merge(self):
+        for spec in REGISTRY.values():
+            assert (spec.subtasks is None) == (spec.merge is None)
+
+    def test_fig2_shards_match_direct_run(self):
+        spec = REGISTRY["fig2"]
+        tasks = spec.subtasks(1, "fast")
+        merged = spec.merge(1, "fast", [task(1, "fast") for task in tasks])
+        direct = spec.run(1, "fast")
+        assert [r.to_dict() for r in merged] == [r.to_dict() for r in direct]
+
+
+class TestCachedCall:
+    def test_single_report_shape_preserved(self, synthetic):
+        def produce():
+            CALLS["count"] += 1
+            return make_report("direct")
+
+        first = cached_call(produce)
+        second = cached_call(produce)
+        assert isinstance(second, ExperimentReport)
+        assert first == second
+        assert CALLS["count"] == 1
+
+    def test_list_shape_preserved(self):
+        def produce():
+            return [make_report("a"), make_report("b")]
+
+        assert cached_call(produce) == cached_call(produce)
+        assert isinstance(cached_call(produce), list)
+
+    def test_non_report_results_bypass_cache(self):
+        calls = []
+
+        def produce():
+            calls.append(1)
+            return {"not": "a report"}
+
+        assert cached_call(produce) == {"not": "a report"}
+        cached_call(produce)
+        assert len(calls) == 2
