@@ -230,6 +230,19 @@ class WriteBuffer:
             out.append(self._pop(xpline, reason="evict"))
         return tuple(out)
 
+    def discard(self, xpline: int) -> WriteBufferEntry:
+        """Drop one buffered XPLine *without* writing it back.
+
+        Used by fault injection to model a torn ADR drain: the entry's
+        dirty slots simply never reach the media.  Returns the removed
+        entry so the caller can report exactly which cacheline slots
+        were destroyed.  Raises ``KeyError`` if the line is not
+        resident.
+        """
+        entry = self._entries[xpline]
+        self._pop(xpline, reason="evict")
+        return entry
+
     # -- internals ---------------------------------------------------------
 
     def _collect_periodic(self, now: Cycles) -> list[Writeback]:

@@ -9,6 +9,9 @@ Usage::
     python -m repro run all                   # second time: served from cache
     python -m repro run fig3 --force          # recompute + refresh cache
     python -m repro run fig3 --no-cache       # bypass the cache entirely
+    python -m repro crashtest                 # crash campaigns, all datastores
+    python -m repro crashtest btree --points exhaustive
+    python -m repro crashtest linkedlist --fault-mode torn-xpline
 
 Mirrors the original artifact's ``run.py`` — one command reruns an
 experiment and prints the series/rows the corresponding paper figure
@@ -25,6 +28,10 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.common.errors import ConfigError
+from repro.faults.campaign import FAULT_MODES, STATUS_CODES
+from repro.faults.schedule import InjectionSchedule
+from repro.faults.workloads import DATASTORES
 from repro.runner import REGISTRY, ResultCache, RunRequest, run_sweep
 from repro.runner.registry import resolve_names
 
@@ -50,13 +57,51 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list available experiments")
     run = sub.add_parser("run", help="run one or more experiments")
     run.add_argument("experiments", nargs="+", help="experiment ids or 'all'")
-    run.add_argument("--generation", "-g", type=int, default=1, choices=(1, 2))
-    run.add_argument("--profile", "-p", default="fast", choices=("fast", "full"))
+    _add_common_run_arguments(run)
     run.add_argument(
+        "--chart", action="store_true", help="render ASCII charts alongside the tables"
+    )
+    crashtest = sub.add_parser(
+        "crashtest",
+        help="crash-point fault-injection campaigns with recovery validation",
+    )
+    crashtest.add_argument(
+        "datastores", nargs="*", default=["all"], metavar="DATASTORE",
+        help=f"datastores to campaign over: {', '.join(DATASTORES)} (default: all)",
+    )
+    crashtest.add_argument(
+        "--points", default="sample:50", metavar="SCHEDULE",
+        help="crash-point schedule: 'exhaustive' or 'sample:N' (default sample:50)",
+    )
+    crashtest.add_argument(
+        "--seed", type=int, default=7,
+        help="seed for sampling and fault placement (default 7)",
+    )
+    crashtest.add_argument(
+        "--fault-mode", default="power-loss", choices=FAULT_MODES,
+        help="fault injected at each crash point (default power-loss)",
+    )
+    _add_common_run_arguments(crashtest)
+    return parser
+
+
+def _add_common_run_arguments(command: argparse.ArgumentParser) -> None:
+    """Attach the scheduling/cache flags shared by run and crashtest."""
+    command.add_argument("--generation", "-g", type=int, default=1, choices=(1, 2))
+    command.add_argument("--profile", "-p", default="fast", choices=("fast", "full"))
+    command.add_argument(
         "--jobs", "-j", type=int, default=1, metavar="N",
         help="worker processes for the sweep (default 1 = serial)",
     )
-    cache_group = run.add_mutually_exclusive_group()
+    command.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="SECONDS",
+        help="presume a pooled worker hung after this long and retry elsewhere",
+    )
+    command.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="re-executions granted to a failing work unit before quarantine (default 2)",
+    )
+    cache_group = command.add_mutually_exclusive_group()
     cache_group.add_argument(
         "--cache", dest="cache", action="store_true", default=True,
         help="serve/populate the on-disk result cache (default)",
@@ -65,18 +110,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", dest="cache", action="store_false",
         help="bypass the result cache entirely",
     )
-    run.add_argument(
+    command.add_argument(
         "--force", action="store_true",
         help="invalidate cached entries for the selected runs and recompute",
     )
-    run.add_argument(
+    command.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="result cache root (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
     )
-    run.add_argument(
-        "--chart", action="store_true", help="render ASCII charts alongside the tables"
-    )
-    return parser
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -96,22 +137,51 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{name.ljust(width)}  {spec.title}")
         return 0
 
-    try:
-        names = resolve_names(args.experiments)
-    except KeyError as error:
-        print(f"unknown experiment(s): {error.args[0]}", file=sys.stderr)
-        print(f"available: {', '.join(REGISTRY)}", file=sys.stderr)
-        return 2
+    if args.command == "crashtest":
+        try:
+            InjectionSchedule.parse(args.points, seed=args.seed)
+        except ConfigError as error:
+            print(f"bad --points value: {error}", file=sys.stderr)
+            return 2
+        datastores = list(DATASTORES) if "all" in args.datastores else list(args.datastores)
+        unknown = [name for name in datastores if name not in DATASTORES]
+        if unknown:
+            print(f"unknown datastore(s): {', '.join(unknown)}", file=sys.stderr)
+            print(f"available: {', '.join(DATASTORES)}", file=sys.stderr)
+            return 2
+        requests = [
+            RunRequest.make(
+                f"crash-{datastore}",
+                generation=args.generation,
+                profile=args.profile,
+                overrides={
+                    "points": args.points,
+                    "seed": args.seed,
+                    "fault_mode": args.fault_mode,
+                },
+            )
+            for datastore in datastores
+        ]
+    else:
+        try:
+            names = resolve_names(args.experiments)
+        except KeyError as error:
+            print(f"unknown experiment(s): {error.args[0]}", file=sys.stderr)
+            print(f"available: {', '.join(REGISTRY)}", file=sys.stderr)
+            return 2
+        requests = [
+            RunRequest.make(name, generation=args.generation, profile=args.profile)
+            for name in names
+        ]
 
     cache = ResultCache(args.cache_dir) if args.cache else None
-    requests = [
-        RunRequest.make(name, generation=args.generation, profile=args.profile)
-        for name in names
-    ]
 
     def show(result) -> None:
         spec = REGISTRY[result.request.experiment]
         print(f"### {spec.title} (G{args.generation}, {args.profile} profile)")
+        if result.error is not None:
+            print(f"[{result.request.experiment} FAILED: {result.error}]\n")
+            return
         for report in result.reports:
             print(report.render())
             if getattr(args, "chart", False):
@@ -125,14 +195,56 @@ def main(argv: list[str] | None = None) -> int:
         else:
             print(f"[{result.request.experiment} done in {result.wall_time:.1f}s]\n")
 
-    _, metrics = run_sweep(
-        requests, jobs=args.jobs, cache=cache, force=args.force, progress=show
+    results, metrics = run_sweep(
+        requests,
+        jobs=args.jobs,
+        cache=cache,
+        force=args.force,
+        progress=show,
+        shard_timeout=args.shard_timeout,
+        max_retries=args.retries,
     )
     print(f"[sweep: {len(requests)} experiment{'s' if len(requests) != 1 else ''}, "
           f"{metrics.summary()}]")
     if cache is not None and cache.write_errors:
         print(f"warning: {cache.write_errors} result(s) could not be written to "
               f"the cache at {cache.root} (ran uncached)", file=sys.stderr)
+    failed = [result for result in results if result.error is not None]
+    if failed:
+        print(f"warning: {len(failed)} experiment(s) failed and were quarantined: "
+              + ", ".join(result.request.experiment for result in failed),
+              file=sys.stderr)
+        return 1
+    if args.command == "crashtest":
+        return _crashtest_verdict(results)
+    return 0
+
+
+def _violations_in(result) -> int:
+    """Count crash points a campaign result flagged as violations."""
+    violation_code = STATUS_CODES["violation"]
+    count = 0
+    for report in result.reports:
+        try:
+            values = report.get("status")
+        except KeyError:
+            continue
+        count += sum(1 for value in values if value == violation_code)
+    return count
+
+
+def _crashtest_verdict(results) -> int:
+    """Exit code for crashtest: 1 if any campaign found a violation."""
+    total = 0
+    for result in results:
+        violations = _violations_in(result)
+        if violations:
+            print(f"{result.request.experiment}: {violations} crash-consistency "
+                  f"violation(s) found", file=sys.stderr)
+        total += violations
+    if total:
+        return 1
+    print("crashtest: no crash-consistency violations found")
     return 0
 
 

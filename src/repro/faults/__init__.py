@@ -1,0 +1,64 @@
+"""Systematic crash-point fault injection with recovery validation.
+
+The package turns the simulator's determinism into a crash-consistency
+test rig: every persistence event of a workload is a potential crash
+point, realized by replaying the workload from scratch, cutting power
+there (:class:`~repro.persist.crash.CrashSimulator`), and validating
+recovery — structural invariants plus no-lost-committed-update against
+the durability ledger.  See ``docs/crash_consistency.md`` for the
+model and for how to write a validator for a new datastore.
+"""
+
+from repro.faults.campaign import (
+    FAULT_MODES,
+    STATUS_CODES,
+    CampaignConfig,
+    CrashPointResult,
+    FaultCampaignReport,
+    run_campaign,
+)
+from repro.faults.hooks import CrashPointReached, EventTap, HookedCore, PersistEvent
+from repro.faults.schedule import InjectionSchedule
+from repro.faults.validators import (
+    BtreeValidator,
+    CcehValidator,
+    LinkedListValidator,
+    RecoveryValidator,
+    validator_for,
+)
+from repro.faults.workloads import (
+    DATASTORES,
+    BtreeRedoWorkload,
+    CcehWorkload,
+    CrashWorkload,
+    LinkedListWorkload,
+    make_workload,
+)
+from repro.faults.experiment import run_crashtest, run_crashtest_campaign
+
+__all__ = [
+    "FAULT_MODES",
+    "STATUS_CODES",
+    "DATASTORES",
+    "CampaignConfig",
+    "CrashPointResult",
+    "FaultCampaignReport",
+    "run_campaign",
+    "CrashPointReached",
+    "EventTap",
+    "HookedCore",
+    "PersistEvent",
+    "InjectionSchedule",
+    "RecoveryValidator",
+    "LinkedListValidator",
+    "BtreeValidator",
+    "CcehValidator",
+    "validator_for",
+    "CrashWorkload",
+    "LinkedListWorkload",
+    "BtreeRedoWorkload",
+    "CcehWorkload",
+    "make_workload",
+    "run_crashtest",
+    "run_crashtest_campaign",
+]

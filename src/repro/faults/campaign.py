@@ -1,0 +1,240 @@
+"""Crash-point campaign driver and its machine-readable report.
+
+One campaign = one workload × one fault mode × one injection schedule.
+The driver first replays the workload uncut to count persistence
+events, asks the schedule which event indexes get a power cut, then
+for each point replays from scratch, stops at the point, pulls the
+plug via :class:`~repro.persist.crash.CrashSimulator`, and runs the
+datastore's :class:`~repro.faults.validators.RecoveryValidator`.
+
+Every crash point yields a :class:`CrashPointResult`; the campaign
+aggregates them into a :class:`FaultCampaignReport` that serializes to
+JSON and converts to an
+:class:`~repro.experiments.common.ExperimentReport` so campaigns flow
+through the PR-1 runner, result cache, and CLI unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.common.rng import DEFAULT_SEED, DeterministicRng
+from repro.experiments.common import ExperimentReport
+from repro.faults.hooks import CrashPointReached, EventTap
+from repro.faults.schedule import InjectionSchedule
+from repro.faults.validators import RecoveryValidator
+from repro.faults.workloads import CrashWorkload
+from repro.persist.crash import CrashSimulator, FaultMode
+
+#: Campaign-level fault modes: the CrashSimulator modes plus "eadr",
+#: which is a *machine* variant (caches join the persistence domain)
+#: crashed with a clean power loss.
+FAULT_MODES = ("power-loss", "torn-xpline", "ait-miss", "eadr")
+
+#: Numeric encoding of per-point status for ExperimentReport series.
+STATUS_CODES = {"ok": 0.0, "beyond-adr-loss": 1.0, "violation": 2.0}
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Everything one campaign run needs."""
+
+    #: Display name (normally the datastore name).
+    name: str
+    #: Builds a *fresh* workload instance per replay.
+    factory: Callable[[], CrashWorkload]
+    #: Recovery validator matched to the workload's datastore.
+    validator: RecoveryValidator
+    #: Which crash points get injected.
+    schedule: InjectionSchedule
+    #: One of :data:`FAULT_MODES`.
+    fault_mode: str = "power-loss"
+    #: Seeds the per-point fault RNG (torn-xpline victim draws).
+    seed: int = DEFAULT_SEED
+    generation: int = 1
+
+    def crash_mode(self) -> FaultMode:
+        """The CrashSimulator mode this campaign injects."""
+        if self.fault_mode in ("power-loss", "eadr"):
+            return FaultMode.CLEAN
+        return FaultMode.parse(self.fault_mode)
+
+
+@dataclass(frozen=True)
+class CrashPointResult:
+    """Outcome of one injected crash."""
+
+    #: Event index the power failed after.
+    point: int
+    #: Human-readable description of that event.
+    event: str
+    #: Workload operation in flight when power failed.
+    op_index: int
+    #: "ok" | "violation" | "beyond-adr-loss".
+    status: str
+    #: What the validator found (empty when ok).
+    problems: tuple[str, ...] = ()
+    #: Dirty PM cachelines lost from the CPU caches.
+    lost_lines: int = 0
+    #: PM cachelines destroyed by the injected beyond-ADR fault.
+    torn_lines: int = 0
+    #: XPLines the ADR drain saved.
+    drained_xplines: int = 0
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict of every field."""
+        return {
+            "point": self.point,
+            "event": self.event,
+            "op_index": self.op_index,
+            "status": self.status,
+            "problems": list(self.problems),
+            "lost_lines": self.lost_lines,
+            "torn_lines": self.torn_lines,
+            "drained_xplines": self.drained_xplines,
+        }
+
+
+@dataclass
+class FaultCampaignReport:
+    """Machine-readable summary of a whole campaign."""
+
+    workload: str
+    generation: int
+    fault_mode: str
+    schedule: str
+    seed: int
+    #: Persistence events in the uncut workload.
+    total_events: int
+    results: list[CrashPointResult] = field(default_factory=list)
+
+    @property
+    def points_tested(self) -> int:
+        """How many crash points were injected."""
+        return len(self.results)
+
+    def violations(self) -> list[CrashPointResult]:
+        """Crash points where the datastore claimed durability it lacked."""
+        return [result for result in self.results if result.status == "violation"]
+
+    def beyond_adr(self) -> list[CrashPointResult]:
+        """Crash points where only injected platform damage was found."""
+        return [result for result in self.results if result.status == "beyond-adr-loss"]
+
+    def first_violation(self) -> CrashPointResult | None:
+        """The earliest violating crash point (None when clean)."""
+        violating = self.violations()
+        return min(violating, key=lambda result: result.point) if violating else None
+
+    def summary(self) -> str:
+        """One line for CLI output and logs."""
+        head = (
+            f"{self.workload} g{self.generation} {self.fault_mode} "
+            f"[{self.schedule}]: {self.points_tested}/{self.total_events} "
+            f"points, {len(self.violations())} violations, "
+            f"{len(self.beyond_adr())} beyond-ADR losses"
+        )
+        first = self.first_violation()
+        if first is not None:
+            head += f"; first violation at {first.event}"
+        return head
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict of the campaign, results included."""
+        return {
+            "workload": self.workload,
+            "generation": self.generation,
+            "fault_mode": self.fault_mode,
+            "schedule": self.schedule,
+            "seed": self.seed,
+            "total_events": self.total_events,
+            "violations": len(self.violations()),
+            "beyond_adr": len(self.beyond_adr()),
+            "results": [result.to_dict() for result in self.results],
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialize :meth:`to_dict` as JSON."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def as_experiment_report(self) -> ExperimentReport:
+        """Encode the campaign as an ExperimentReport.
+
+        Lets campaigns ride the PR-1 runner/cache: x-axis = crash
+        points, series = status code (:data:`STATUS_CODES`), loss
+        counts, and drain counts; the summary and first violation (the
+        pinpointed crash event) travel in the notes.
+        """
+        report = ExperimentReport(
+            experiment_id=f"crash-{self.workload}",
+            title=f"Crash campaign — {self.workload} ({self.fault_mode})",
+            x_label="crash point",
+            x_values=[result.point for result in self.results],
+            x_is_size=False,
+        )
+        report.add_series("status", [STATUS_CODES[result.status] for result in self.results])
+        report.add_series("lost_lines", [float(result.lost_lines) for result in self.results])
+        report.add_series("torn_lines", [float(result.torn_lines) for result in self.results])
+        report.add_series(
+            "drained_xplines", [float(result.drained_xplines) for result in self.results]
+        )
+        report.notes.append(self.summary())
+        first = self.first_violation()
+        if first is not None:
+            report.notes.append(
+                f"first violation at {first.event}: {'; '.join(first.problems)}"
+            )
+        return report
+
+
+def run_campaign(config: CampaignConfig) -> FaultCampaignReport:
+    """Execute one crash campaign and return its report."""
+    # Dry run: replay the workload uncut to measure the event stream.
+    probe = config.factory()
+    probe_tap = EventTap(probe.checker)
+    probe.run(probe_tap)
+    total_events = probe_tap.count
+
+    report = FaultCampaignReport(
+        workload=config.name,
+        generation=config.generation,
+        fault_mode=config.fault_mode,
+        schedule=config.schedule.describe(),
+        seed=config.seed,
+        total_events=total_events,
+    )
+    crash_mode = config.crash_mode()
+    fault_rng = DeterministicRng(config.seed)
+    for point in config.schedule.points(total_events):
+        instance = config.factory()
+        tap = EventTap(instance.checker, stop_at=point)
+        try:
+            instance.run(tap)
+        except CrashPointReached:
+            pass
+        # Disarm the tap: recovery runs through the same machine and
+        # must not trip the (already fired) crash point again.
+        tap.stop_at = None
+        simulator = CrashSimulator(instance.machine)
+        crash = simulator.power_failure(
+            now=instance.core.now if instance.core is not None else 0.0,
+            mode=crash_mode,
+            rng=fault_rng.fork(1_000 + point),
+        )
+        status, problems = config.validator.validate(instance, crash)
+        last = tap.last_event
+        report.results.append(
+            CrashPointResult(
+                point=point,
+                event=last.describe() if last is not None else "<before first event>",
+                op_index=last.op_index if last is not None else 0,
+                status=status,
+                problems=problems,
+                lost_lines=len(crash.lost_pm_lines),
+                torn_lines=len(crash.torn_pm_lines),
+                drained_xplines=crash.drained_xplines,
+            )
+        )
+    return report

@@ -1,0 +1,82 @@
+"""Crash campaigns as registry experiments for the sweep runner.
+
+:func:`run_crashtest` has the runner's uniform shape — module-level,
+picklable, ``(generation, profile, **overrides) -> list[ExperimentReport]``
+— so ``repro crashtest`` reuses the PR-1 process pool and on-disk
+result cache exactly like the figure experiments do.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+from repro.common.errors import ConfigError
+from repro.experiments.common import ExperimentReport, check_profile
+from repro.faults.campaign import FAULT_MODES, CampaignConfig, FaultCampaignReport, run_campaign
+from repro.faults.schedule import InjectionSchedule
+from repro.faults.validators import validator_for
+from repro.faults.workloads import DATASTORES, make_workload
+
+
+def run_crashtest_campaign(
+    datastore: str,
+    generation: int = 1,
+    profile: str = "fast",
+    points: str | None = None,
+    seed: int = 7,
+    fault_mode: str = "power-loss",
+) -> FaultCampaignReport:
+    """Run one campaign and return the full FaultCampaignReport.
+
+    ``points`` is schedule syntax (``exhaustive`` / ``sample:N``);
+    None defaults to exhaustive — the shipped workloads are small
+    enough that full coverage is the sensible default.
+    """
+    check_profile(profile)
+    if fault_mode not in FAULT_MODES:
+        raise ConfigError(
+            f"unknown fault mode {fault_mode!r}; known: {', '.join(FAULT_MODES)}"
+        )
+    schedule = InjectionSchedule.parse(points if points is not None else "exhaustive", seed=seed)
+    config = CampaignConfig(
+        name=datastore,
+        factory=partial(
+            make_workload,
+            datastore,
+            generation=generation,
+            profile=profile,
+            seed=seed,
+            eadr=fault_mode == "eadr",
+            ait_pressure=fault_mode == "ait-miss",
+        ),
+        validator=validator_for(datastore),
+        schedule=schedule,
+        fault_mode=fault_mode,
+        seed=seed,
+        generation=generation,
+    )
+    return run_campaign(config)
+
+
+def run_crashtest(
+    generation: int,
+    profile: str,
+    datastore: str = "linkedlist",
+    points: str | None = None,
+    seed: int = 7,
+    fault_mode: str = "power-loss",
+) -> list[ExperimentReport]:
+    """Registry entry point: one campaign as an ExperimentReport list."""
+    if datastore not in DATASTORES:
+        raise ConfigError(
+            f"unknown crash datastore {datastore!r}; known: {', '.join(DATASTORES)}"
+        )
+    campaign = run_crashtest_campaign(
+        datastore,
+        generation=generation,
+        profile=profile,
+        points=points,
+        seed=seed,
+        fault_mode=fault_mode,
+    )
+    return [campaign.as_experiment_report()]

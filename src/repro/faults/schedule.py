@@ -1,0 +1,63 @@
+"""Crash-point selection: which events of a workload get a power cut.
+
+For small workloads the campaign can afford to crash *after every
+persistence event* (exhaustive coverage: if a missing-barrier window
+exists anywhere in the run, some crash point lands inside it).  Larger
+workloads get seeded-random sampling — distinct points drawn without
+replacement, fully reproducible from the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.common.rng import DEFAULT_SEED, DeterministicRng
+
+
+@dataclass(frozen=True)
+class InjectionSchedule:
+    """How crash points are enumerated over a workload's event stream."""
+
+    #: "exhaustive" or "sample".
+    kind: str
+    #: Number of points for the "sample" kind (ignored otherwise).
+    sample_size: int = 0
+    #: Seed for the sampling draw (ignored for "exhaustive").
+    seed: int = DEFAULT_SEED
+
+    @classmethod
+    def parse(cls, text: str, seed: int = DEFAULT_SEED) -> "InjectionSchedule":
+        """Build a schedule from CLI syntax: ``exhaustive`` or ``sample:N``."""
+        if text == "exhaustive":
+            return cls(kind="exhaustive", seed=seed)
+        if text.startswith("sample:"):
+            try:
+                size = int(text.split(":", 1)[1])
+            except ValueError:
+                raise ConfigError(f"bad sample size in schedule {text!r}")
+            if size <= 0:
+                raise ConfigError("sample size must be positive")
+            return cls(kind="sample", sample_size=size, seed=seed)
+        raise ConfigError(
+            f"unknown injection schedule {text!r}; use 'exhaustive' or 'sample:N'"
+        )
+
+    def describe(self) -> str:
+        """The CLI syntax for this schedule (round-trips with parse)."""
+        if self.kind == "exhaustive":
+            return "exhaustive"
+        return f"sample:{self.sample_size}"
+
+    def points(self, total_events: int) -> list[int]:
+        """Sorted crash-point indexes to inject, given the stream length.
+
+        A sample larger than the stream degrades to exhaustive: every
+        point is tested once, never twice.
+        """
+        if total_events <= 0:
+            return []
+        if self.kind == "exhaustive" or self.sample_size >= total_events:
+            return list(range(total_events))
+        rng = DeterministicRng(self.seed)
+        return sorted(rng.sample(range(total_events), self.sample_size))

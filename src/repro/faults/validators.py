@@ -1,0 +1,134 @@
+"""Per-datastore recovery validation after an injected crash.
+
+A :class:`RecoveryValidator` answers two questions about a crashed
+workload:
+
+1. **No lost committed update** — did the crash destroy any cacheline
+   the workload had claimed durable (flush accepted before a fence)?
+   This comes straight from the
+   :class:`~repro.persist.crash.DurabilityChecker` ledger the event
+   tap maintained, compared against the crash report.
+2. **Structural integrity** — after running the datastore's recovery
+   procedure (e.g. redo-log replay), do its invariants hold and is
+   every operation that completed before the crash still visible?
+
+The two losses a crash report can carry are classified differently:
+committed lines lost from the *CPU caches* mean the datastore claimed
+durability it never had — a missing persistence barrier, status
+``violation``.  Committed lines destroyed *inside* the ADR domain by
+an injected fault (torn XPLine, exhausted drain budget) are platform
+damage no barrier discipline can prevent — status ``beyond-adr-loss``.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import DataStoreError, KeyNotFoundError
+from repro.datastores.base import NullCore
+from repro.faults.workloads import CrashWorkload
+from repro.persist.crash import CrashReport
+
+
+class RecoveryValidator:
+    """Base validator: ledger classification + structural hook."""
+
+    def validate(self, instance: CrashWorkload, report: CrashReport) -> tuple[str, tuple[str, ...]]:
+        """Classify one crash point; returns ``(status, problems)``.
+
+        ``status`` is ``"ok"``, ``"violation"`` (datastore bug), or
+        ``"beyond-adr-loss"`` (injected platform damage).  The ledger
+        is checked *before* recovery runs, since recovery legitimately
+        commits new lines.
+        """
+        violations = instance.checker.violations_against(report)
+        cache_lost = violations & report.lost_pm_lines
+        torn_lost = violations & report.torn_pm_lines
+        problems: list[str] = []
+        if cache_lost:
+            problems.append(
+                f"{len(cache_lost)} committed cacheline(s) lost from the CPU "
+                f"caches (missing barrier): {sorted(cache_lost)[:4]}"
+            )
+        if torn_lost:
+            problems.append(
+                f"{len(torn_lost)} committed cacheline(s) destroyed by the "
+                f"injected {report.mode} fault: {sorted(torn_lost)[:4]}"
+            )
+        structural = self.recover_and_check(instance, report)
+        problems.extend(structural)
+        if cache_lost or (structural and not report.torn_pm_lines):
+            status = "violation"
+        elif torn_lost or structural:
+            status = "beyond-adr-loss"
+        else:
+            status = "ok"
+        return status, tuple(problems)
+
+    def recover_and_check(self, instance: CrashWorkload, report: CrashReport) -> list[str]:
+        """Run recovery and check invariants; returns problem strings."""
+        raise NotImplementedError
+
+
+class LinkedListValidator(RecoveryValidator):
+    """The circular list needs no recovery: the chain must just hold."""
+
+    def recover_and_check(self, instance: CrashWorkload, report: CrashReport) -> list[str]:
+        """Check the Hamiltonian-cycle invariant."""
+        try:
+            instance.datastore.verify_cycle()
+        except DataStoreError as error:
+            return [f"linked list structure broken: {error}"]
+        return []
+
+
+class BtreeValidator(RecoveryValidator):
+    """Redo-log replay, tree invariants, and completed-key reachability."""
+
+    def recover_and_check(self, instance: CrashWorkload, report: CrashReport) -> list[str]:
+        """Replay committed-but-unapplied logs, then audit the tree."""
+        problems: list[str] = []
+        recovery_core = instance.machine.new_core("recovery")
+        for log in instance.datastore._logs.values():
+            # The workload's core died with the crash; recovery replays
+            # the log's pending records through a fresh core.
+            log.core = recovery_core
+            log.recover()
+        try:
+            instance.datastore.check_invariants()
+        except DataStoreError as error:
+            problems.append(f"B+-tree invariants violated: {error}")
+        quiet = NullCore()
+        for key in instance.completed_keys:
+            try:
+                instance.datastore.get(key, quiet)
+            except KeyNotFoundError:
+                problems.append(f"completed insert of key {key} not found after recovery")
+        return problems
+
+
+class CcehValidator(RecoveryValidator):
+    """Directory/segment invariants and completed-key reachability."""
+
+    def recover_and_check(self, instance: CrashWorkload, report: CrashReport) -> list[str]:
+        """Check CCEH invariants and that completed inserts are visible."""
+        problems: list[str] = []
+        try:
+            instance.datastore.check_invariants()
+        except DataStoreError as error:
+            problems.append(f"CCEH invariants violated: {error}")
+        quiet = NullCore()
+        for key in instance.completed_keys:
+            if not instance.datastore.contains(key, quiet):
+                problems.append(f"completed insert of key {key} not found after recovery")
+        return problems
+
+
+_VALIDATORS = {
+    "linkedlist": LinkedListValidator,
+    "btree": BtreeValidator,
+    "cceh": CcehValidator,
+}
+
+
+def validator_for(datastore: str) -> RecoveryValidator:
+    """The shipped validator for one of the known datastores."""
+    return _VALIDATORS[datastore]()

@@ -73,6 +73,15 @@ class AitCache:
             self._entries.popitem(last=False)
         return self.config.miss_penalty
 
+    def covers(self, addr: int) -> bool:
+        """True if ``addr``'s translation granule is currently cached.
+
+        A pure peek: unlike :meth:`lookup_penalty` it neither installs
+        nor LRU-refreshes the granule.  Fault injection uses it to cost
+        an ADR drain without perturbing the cache state it is costing.
+        """
+        return addr // self.config.granule_bytes in self._entries
+
     @property
     def resident_granules(self) -> int:
         """How many translation granules are currently cached."""

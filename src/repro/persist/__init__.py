@@ -1,7 +1,7 @@
 """Persistence programming layer: allocation, persistency models, logging."""
 
 from repro.persist.allocator import PmHeap, RegionAllocator
-from repro.persist.crash import CrashReport, CrashSimulator, DurabilityChecker
+from repro.persist.crash import CrashReport, CrashSimulator, DurabilityChecker, FaultMode
 from repro.persist.log import LogRecord, RedoLog
 from repro.persist.persistency import (
     FenceKind,
@@ -17,6 +17,7 @@ __all__ = [
     "CrashReport",
     "CrashSimulator",
     "DurabilityChecker",
+    "FaultMode",
     "LogRecord",
     "RedoLog",
     "FenceKind",

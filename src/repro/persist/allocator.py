@@ -22,6 +22,7 @@ class RegionAllocator:
     """Bump-plus-freelist allocator for one memory region."""
 
     def __init__(self, machine: Machine, region: str = "pm") -> None:
+        """Bind the allocator to one named region of ``machine``."""
         spec = machine.region_spec(region)
         self.machine = machine
         self.region_name = region
@@ -86,6 +87,7 @@ class PmHeap:
     """
 
     def __init__(self, machine: Machine, pm_region: str = "pm", dram_region: str = "dram") -> None:
+        """Create paired PM and DRAM allocators over ``machine``."""
         self.machine = machine
         self.pm = RegionAllocator(machine, pm_region)
         self.dram = RegionAllocator(machine, dram_region)

@@ -39,6 +39,7 @@ class RedoLog:
     """A circular redo log with one entry per cacheline."""
 
     def __init__(self, core: Core, heap: PmHeap, capacity_entries: int = 64) -> None:
+        """Allocate log storage on ``heap``; appends run on ``core``."""
         if capacity_entries <= 0:
             raise DataStoreError("redo log needs at least one entry")
         self.core = core

@@ -76,6 +76,7 @@ class Persister:
     """Executes persistent writes on a core under one PersistConfig."""
 
     def __init__(self, core: Core, config: PersistConfig) -> None:
+        """Wrap ``core`` so writes follow ``config``'s flush/fence rules."""
         self.core = core
         self.config = config
         self.persisted_writes = 0

@@ -28,6 +28,7 @@ import hashlib
 import json
 import os
 import time
+import warnings
 from pathlib import Path
 
 from repro.experiments.common import ExperimentReport
@@ -154,7 +155,10 @@ class ResultCache:
         An unwritable cache root (read-only filesystem, bad
         ``--cache-dir``) must never lose a computed result, so write
         failures degrade to uncached operation: the entry is skipped,
-        ``write_errors`` is incremented, and ``None`` is returned.
+        ``write_errors`` is incremented, and ``None`` is returned.  The
+        first failure per cache instance emits a ``RuntimeWarning`` so
+        a silently-uncached sweep is visible without spamming one
+        warning per experiment.
         """
         path = self._path(key)
         payload = {
@@ -170,8 +174,15 @@ class ResultCache:
             path.parent.mkdir(parents=True, exist_ok=True)
             tmp.write_text(json.dumps(payload, indent=1))
             tmp.replace(path)
-        except OSError:
+        except OSError as error:
             self.write_errors += 1
+            if self.write_errors == 1:
+                warnings.warn(
+                    f"result cache at {self.root} is unwritable "
+                    f"({error}); continuing without caching",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
             return None
         return path
 

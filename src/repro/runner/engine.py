@@ -17,6 +17,18 @@
    ``fork`` restrictions, OOM-killed workers) — the sweep always
    completes.
 
+The engine degrades rather than aborts.  Each work unit (a whole
+experiment or one shard) gets a per-unit timeout (``shard_timeout``)
+and a bounded retry budget with exponential backoff (``max_retries``,
+``backoff``).  A hung or dead worker poisons the current pool: its
+processes are terminated, the pool is abandoned without waiting, and a
+fresh pool re-runs whatever had not finished.  A unit that keeps
+failing is *quarantined* — the sweep completes with partial results,
+the failing request's :class:`RunResult` carries ``error``, and
+:class:`RunMetrics.failed_shards` records every quarantined unit so a
+degraded sweep is explicit, machine-readable, and never silently
+cached.
+
 Results come back in request order together with a
 :class:`RunMetrics` carrying per-experiment wall times, cache hit/miss
 counters and worker utilization (busy time / (wall x jobs)).
@@ -26,8 +38,9 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.experiments.common import ExperimentReport, check_profile
@@ -82,13 +95,20 @@ class RunRequest:
 
 @dataclass
 class RunResult:
-    """Outcome of one request: its reports plus how they were obtained."""
+    """Outcome of one request: its reports plus how they were obtained.
+
+    ``error`` is None for a successful run; on a quarantined failure
+    the reports are empty, nothing is cached, and ``error`` carries the
+    human-readable reason (also recorded in
+    :class:`RunMetrics.failed_shards`).
+    """
 
     request: RunRequest
     reports: list[ExperimentReport]
     wall_time: float
     cached: bool
     key: str
+    error: str | None = None
 
 
 @dataclass
@@ -101,6 +121,11 @@ class RunMetrics:
     cache_hits: int = 0
     cache_misses: int = 0
     pool_fallback: bool = False
+    #: Re-executions of individual work units after a failure/timeout.
+    retries: int = 0
+    #: Units that exhausted their retry budget, one dict each:
+    #: {"experiment", "shard" (int | None), "attempts", "reason"}.
+    failed_shards: list = field(default_factory=list)
 
     def utilization(self) -> float:
         """Worker busy fraction: busy time / (wall time x jobs)."""
@@ -117,6 +142,13 @@ class RunMetrics:
             f"cache: {self.cache_hits} hit{'s' if self.cache_hits != 1 else ''}"
             f" / {self.cache_misses} miss{'es' if self.cache_misses != 1 else ''}",
         ]
+        if self.retries:
+            parts.append(f"{self.retries} retr{'ies' if self.retries != 1 else 'y'}")
+        if self.failed_shards:
+            parts.append(
+                f"DEGRADED: {len(self.failed_shards)} quarantined "
+                f"shard{'s' if len(self.failed_shards) != 1 else ''}"
+            )
         if self.pool_fallback:
             parts.append("pool unavailable -> ran serially")
         return ", ".join(parts)
@@ -167,37 +199,172 @@ def _finish(request: RunRequest, spec: ExperimentSpec, shard_results: list,
     return reports, busy
 
 
-def _run_pooled(requests: list[RunRequest], jobs: int,
-                outcomes: dict) -> None:
-    """Fan ``requests`` out over a process pool, filling ``outcomes``.
+@dataclass
+class _Unit:
+    """One schedulable work unit: a whole experiment or one shard."""
+
+    request: RunRequest
+    #: Shard index, or None for an unsharded (whole-experiment) unit.
+    shard: int | None
+    attempts: int = 0
+    done: bool = False
+    #: The worker's return value once done.
+    payload: object = None
+    #: Set when the unit is quarantined (retry budget exhausted).
+    error: str | None = None
+
+    @property
+    def active(self) -> bool:
+        """True while the unit still needs (re-)execution."""
+        return not self.done and self.error is None
+
+    def describe_failure(self) -> dict:
+        """The RunMetrics.failed_shards record for this unit."""
+        return {
+            "experiment": self.request.experiment,
+            "shard": self.shard,
+            "attempts": self.attempts,
+            "reason": self.error,
+        }
+
+
+def _submit(pool: ProcessPoolExecutor, unit: _Unit):
+    """Submit one unit to the pool."""
+    if unit.shard is None:
+        return pool.submit(_execute, unit.request)
+    return pool.submit(
+        _execute_subtask, unit.request.experiment, unit.shard,
+        unit.request.generation, unit.request.profile,
+    )
+
+
+def _abandon_pool(pool: ProcessPoolExecutor) -> None:
+    """Kill a pool that holds hung or dead workers, without waiting.
+
+    ``shutdown(wait=True)`` would block on the hung worker forever, so
+    the workers are terminated first and the executor is told not to
+    wait.  The abandoned pool's resources are reclaimed by the OS.
+    """
+    for process in list(getattr(pool, "_processes", {}).values()):
+        try:
+            process.terminate()
+        except Exception:
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _harvest(unit: _Unit, future) -> None:
+    """Salvage a completed future's result while abandoning a wave."""
+    if future.done() and not future.cancelled():
+        try:
+            unit.payload = future.result(timeout=0)
+            unit.done = True
+        except Exception:
+            pass
+
+
+def _fail(unit: _Unit, reason: str, metrics: RunMetrics,
+          max_retries: int, backoff: float) -> None:
+    """Count one failed attempt; quarantine or schedule a retry."""
+    unit.attempts += 1
+    if unit.attempts > max_retries:
+        unit.error = reason
+        metrics.failed_shards.append(unit.describe_failure())
+    else:
+        metrics.retries += 1
+        time.sleep(backoff * (2 ** (unit.attempts - 1)))
+
+
+def _run_pooled(requests: list[RunRequest], jobs: int, outcomes: dict,
+                failures: dict, metrics: RunMetrics,
+                shard_timeout: float | None, max_retries: int,
+                backoff: float) -> None:
+    """Fan ``requests`` out over process pools, filling ``outcomes``.
 
     Experiments whose spec exposes sharding hooks (and that carry no
     overrides, which the shard signature cannot forward) are split one
-    future per shard; everything else is one future per experiment.
-    Raises one of ``_POOL_ERRORS`` if the pool cannot be used — the
-    caller re-runs whatever is missing from ``outcomes`` in-process.
+    unit per shard; everything else is one unit per experiment.  Units
+    run in waves: each wave owns one pool; a timeout or worker death
+    poisons the wave (the pool is abandoned and survivors re-run in the
+    next wave), while an exception from the experiment itself costs
+    only that unit an attempt.  Quarantined units land in ``failures``
+    keyed by request.  Raises one of ``_POOL_ERRORS`` only when no
+    pool can be created or pools die without making any progress — the
+    caller then re-runs whatever is missing in-process.
     """
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        plain: dict[RunRequest, object] = {}
-        sharded: dict[RunRequest, list] = {}
-        for request in requests:
-            spec = _spec_for(request)
-            if spec.subtasks is not None and spec.merge is not None and not request.overrides:
-                count = len(spec.subtasks(request.generation, request.profile))
-                sharded[request] = [
-                    pool.submit(_execute_subtask, request.experiment, index,
-                                request.generation, request.profile)
-                    for index in range(count)
-                ]
+    units: list[_Unit] = []
+    for request in requests:
+        spec = _spec_for(request)
+        if spec.subtasks is not None and spec.merge is not None and not request.overrides:
+            count = len(spec.subtasks(request.generation, request.profile))
+            units.extend(_Unit(request, index) for index in range(count))
+        else:
+            units.append(_Unit(request, None))
+
+    while any(unit.active for unit in units):
+        wave = [unit for unit in units if unit.active]
+        progressed = False
+        poisoned = False
+        pool = ProcessPoolExecutor(max_workers=jobs)
+        try:
+            submitted: list[tuple[_Unit, object]] = []
+            try:
+                submitted = [(unit, _submit(pool, unit)) for unit in wave]
+            except BrokenProcessPool:
+                poisoned = True
+            for index, (unit, future) in enumerate(submitted):
+                if poisoned:
+                    # The pool is gone; salvage anything that finished.
+                    _harvest(unit, future)
+                    progressed = progressed or unit.done
+                    continue
+                try:
+                    unit.payload = future.result(timeout=shard_timeout)
+                    unit.done = True
+                    progressed = True
+                except FuturesTimeout:
+                    _fail(unit,
+                          f"no result within shard_timeout={shard_timeout}s "
+                          f"(attempt {unit.attempts + 1})",
+                          metrics, max_retries, backoff)
+                    progressed = True
+                    poisoned = True  # a hung worker can only be killed
+                except BrokenProcessPool as error:
+                    _fail(unit, f"worker process died: {error}",
+                          metrics, max_retries, backoff)
+                    progressed = True
+                    poisoned = True
+                except Exception as error:  # the experiment itself raised
+                    _fail(unit, f"{type(error).__name__}: {error}",
+                          metrics, max_retries, backoff)
+                    progressed = True
+        finally:
+            if poisoned:
+                _abandon_pool(pool)
             else:
-                plain[request] = pool.submit(_execute, request)
-        for request, future in plain.items():
-            dicts, wall = future.result()
+                pool.shutdown(wait=True)
+        if not progressed:
+            # Pools die before accepting work: no way forward here.
+            raise BrokenProcessPool("process pool kept dying without progress")
+
+    for request in requests:
+        request_units = [unit for unit in units if unit.request == request]
+        failed = [unit for unit in request_units if unit.error is not None]
+        if failed:
+            failures[request] = "; ".join(
+                (f"shard {unit.shard}: " if unit.shard is not None else "")
+                + f"{unit.error} after {unit.attempts} attempt"
+                + ("s" if unit.attempts != 1 else "")
+                for unit in failed
+            )
+            continue
+        if request_units[0].shard is None:
+            dicts, wall = request_units[0].payload
             outcomes[request] = ([ExperimentReport.from_dict(d) for d in dicts], wall)
-        for request, futures in sharded.items():
+        else:
             results, busy = [], 0.0
-            for future in futures:  # declaration order == merge order
-                result, wall = future.result()
+            for unit in request_units:  # declaration order == merge order
+                result, wall = unit.payload
                 results.append(result)
                 busy += wall
             outcomes[request] = _finish(request, _spec_for(request), results, busy)
@@ -209,6 +376,9 @@ def run_sweep(
     cache: ResultCache | None = None,
     force: bool = False,
     progress: Callable[[RunResult], None] | None = None,
+    shard_timeout: float | None = None,
+    max_retries: int = 2,
+    backoff: float = 0.25,
 ) -> tuple[list[RunResult], RunMetrics]:
     """Execute ``requests``, returning results in request order.
 
@@ -219,10 +389,25 @@ def run_sweep(
     ``progress`` is invoked once per completed request, in request
     order, as results become available.
 
+    Hardening knobs: ``shard_timeout`` (seconds a pooled unit may run
+    before its worker is presumed hung and killed; None = no limit —
+    it needs a pool, so it has no effect at ``jobs=1``),
+    ``max_retries`` (re-executions granted to a failing unit before it
+    is quarantined), and ``backoff`` (base of the exponential sleep
+    between retries).  A sweep never aborts on a failing experiment:
+    the affected request comes back as a ``RunResult`` with empty
+    reports and ``error`` set, the rest of the sweep completes, and
+    ``metrics.failed_shards`` itemizes the damage.  Failed results are
+    never written to the cache.  Unknown experiment names still raise
+    ``KeyError`` immediately — a typo is a usage error, not degraded
+    execution.
+
     Determinism: every experiment is a pure function of its request,
     and shard merges happen in declaration order, so the returned
     reports are identical for any ``jobs`` value.
     """
+    for request in requests:
+        _spec_for(request)  # surface unknown names before any work runs
     metrics = RunMetrics(jobs=max(1, jobs))
     started = time.perf_counter()
 
@@ -253,20 +438,46 @@ def run_sweep(
         results[request] = RunResult(request, reports, wall, False, key)
         emit(results[request])
 
+    def finalize_failed(request: RunRequest, reason: str) -> None:
+        results[request] = RunResult(request, [], 0.0, False, request.key(), error=reason)
+        emit(results[request])
+
     outcomes: dict[RunRequest, tuple[list[ExperimentReport], float]] = {}
+    failures: dict[RunRequest, str] = {}
     if pending and metrics.jobs > 1:
         try:
-            _run_pooled(pending, metrics.jobs, outcomes)
+            _run_pooled(pending, metrics.jobs, outcomes, failures, metrics,
+                        shard_timeout, max_retries, backoff)
         except _POOL_ERRORS:
             metrics.pool_fallback = True
         for request in pending:
             if request in outcomes:
                 reports, wall = outcomes[request]
                 finalize(request, reports, wall)
+            elif request in failures:
+                finalize_failed(request, failures[request])
     for request in pending:
-        if request not in outcomes:  # jobs=1, or the pool died under us
-            dicts, wall = _execute(request)
-            finalize(request, [ExperimentReport.from_dict(d) for d in dicts], wall)
+        if request in outcomes or request in failures:
+            continue  # jobs=1, or the pool died under us: run in-process
+        attempts = 0
+        while True:
+            try:
+                dicts, wall = _execute(request)
+                finalize(request, [ExperimentReport.from_dict(d) for d in dicts], wall)
+                break
+            except Exception as error:
+                attempts += 1
+                if attempts > max_retries:
+                    reason = f"{type(error).__name__}: {error}"
+                    metrics.failed_shards.append({
+                        "experiment": request.experiment, "shard": None,
+                        "attempts": attempts, "reason": reason,
+                    })
+                    finalize_failed(request, f"{reason} after {attempts} attempt"
+                                    + ("s" if attempts != 1 else ""))
+                    break
+                metrics.retries += 1
+                time.sleep(backoff * (2 ** (attempts - 1)))
 
     metrics.wall_time = time.perf_counter() - started
     return [results[request] for request in requests], metrics

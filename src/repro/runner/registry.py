@@ -22,6 +22,7 @@ from typing import Callable
 from repro.experiments import ablations, bandwidth, fig02, fig03, fig04, fig06, fig07, fig08
 from repro.experiments import fig10, fig12, fig13, fig14, interleaving, lock_handover, sec33, table1
 from repro.experiments.common import ExperimentReport
+from repro.faults.experiment import run_crashtest
 
 
 @dataclass(frozen=True)
@@ -173,6 +174,12 @@ REGISTRY: dict[str, ExperimentSpec] = {
         ExperimentSpec("bandwidth", "§2.2 — device bandwidth characterization", _run_bandwidth),
         ExperimentSpec("lock", "§3.5 — persistent lock handover latency", _run_lock),
         ExperimentSpec("interleave", "§2.4 — 1 vs 6 interleaved DIMMs", _run_interleaving),
+        ExperimentSpec("crash-linkedlist", "Crash campaign — persistent linked list",
+                       partial(run_crashtest, datastore="linkedlist")),
+        ExperimentSpec("crash-btree", "Crash campaign — B+-tree redo logging",
+                       partial(run_crashtest, datastore="btree")),
+        ExperimentSpec("crash-cceh", "Crash campaign — CCEH hash table",
+                       partial(run_crashtest, datastore="cceh")),
     )
 }
 

@@ -121,6 +121,19 @@ class IMCChannel:
         """Forward time-driven maintenance to the device."""
         self.device.idle_tick(now)
 
+    def power_cycle(self) -> None:
+        """Clear pending WPQ occupancy and in-flight persists only.
+
+        Models the queue state after a power failure: whatever the ADR
+        drain accepted has been pushed to the device by the crash
+        simulator, so no slot is busy and no persist is outstanding.
+        Unlike :meth:`reset`, the device (buffers, media, counters) is
+        left untouched — the crash simulator drains it explicitly and
+        in the correct ADR order first.
+        """
+        self._wpq_busy = [0.0] * len(self._wpq_busy)
+        self.inflight.clear()
+
     def reset(self) -> None:
         """Clear queue state and in-flight persists."""
         self._wpq_busy = [0.0] * len(self._wpq_busy)

@@ -17,7 +17,8 @@ import pytest
 SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
 
 #: Modules under the docstring contract (the runner subsystem, the CLI
-#: that fronts it, and the report machinery it schedules).
+#: that fronts it, the report machinery it schedules, the persistence
+#: programming layer, and the fault-injection rig built on top of it).
 LINTED_MODULES = [
     SRC / "runner" / "__init__.py",
     SRC / "runner" / "cache.py",
@@ -25,6 +26,18 @@ LINTED_MODULES = [
     SRC / "runner" / "registry.py",
     SRC / "cli.py",
     SRC / "experiments" / "common.py",
+    SRC / "persist" / "__init__.py",
+    SRC / "persist" / "allocator.py",
+    SRC / "persist" / "crash.py",
+    SRC / "persist" / "log.py",
+    SRC / "persist" / "persistency.py",
+    SRC / "faults" / "__init__.py",
+    SRC / "faults" / "campaign.py",
+    SRC / "faults" / "experiment.py",
+    SRC / "faults" / "hooks.py",
+    SRC / "faults" / "schedule.py",
+    SRC / "faults" / "validators.py",
+    SRC / "faults" / "workloads.py",
 ]
 
 

@@ -280,3 +280,170 @@ class TestCachedCall:
         assert cached_call(produce) == {"not": "a report"}
         cached_call(produce)
         assert len(calls) == 2
+
+
+import multiprocessing
+import os
+import time
+import warnings
+from pathlib import Path
+
+
+def _pool_usable():
+    """True when this sandbox can fork a real worker pool."""
+    if multiprocessing.get_start_method() != "fork":
+        return False  # spawned workers would not see monkeypatched specs
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(1) as pool:
+            return pool.submit(int, 1).result(timeout=10) == 1
+    except Exception:
+        return False
+
+
+def _require_pool():
+    if not _pool_usable():
+        pytest.skip("no usable fork-based process pool in this environment")
+
+
+def _failing_run(generation, profile):
+    raise ValueError("synthetic experiment failure")
+
+
+def _flaky_serial_run(generation, profile):
+    CALLS["count"] += 1
+    if CALLS["count"] == 1:
+        raise ValueError("transient failure")
+    return [make_report("flaky")]
+
+
+def _hanging_run(generation, profile):
+    time.sleep(20)  # far beyond any shard_timeout used in tests
+    return [make_report("hang")]
+
+
+def _dying_then_ok_run(generation, profile, flag_path=""):
+    flag = Path(flag_path)
+    if not flag.exists():
+        flag.write_text("died once")
+        os._exit(1)  # hard worker death -> BrokenProcessPool
+    return [make_report("revived")]
+
+
+@pytest.fixture
+def hardened_registry(monkeypatch):
+    """Register the failure-mode experiments alongside 'syn'."""
+    for name, fn in (
+        ("syn", _synthetic_run),
+        ("bad", _failing_run),
+        ("flaky", _flaky_serial_run),
+        ("hang", _hanging_run),
+        ("dying", _dying_then_ok_run),
+    ):
+        monkeypatch.setitem(REGISTRY, name, ExperimentSpec(name, f"{name} experiment", fn))
+    CALLS["count"] = 0
+
+
+class TestHardenedSerialPath:
+    def test_failing_experiment_degrades_not_raises(self, hardened_registry):
+        results, metrics = run_sweep(
+            [RunRequest.make("bad"), RunRequest.make("syn")],
+            max_retries=1, backoff=0.01,
+        )
+        assert results[0].error is not None
+        assert "ValueError" in results[0].error
+        assert results[0].reports == []
+        assert results[1].error is None
+        assert results[1].reports == [make_report("syn-g1-fast")]
+        assert len(metrics.failed_shards) == 1
+        record = metrics.failed_shards[0]
+        assert record["experiment"] == "bad"
+        assert record["shard"] is None
+        assert record["attempts"] == 2  # initial try + 1 retry
+
+    def test_flaky_experiment_succeeds_on_retry(self, hardened_registry):
+        results, metrics = run_sweep(
+            [RunRequest.make("flaky")], max_retries=2, backoff=0.01,
+        )
+        assert results[0].error is None
+        assert results[0].reports == [make_report("flaky")]
+        assert metrics.retries == 1
+        assert metrics.failed_shards == []
+
+    def test_zero_retries_quarantines_immediately(self, hardened_registry):
+        results, metrics = run_sweep(
+            [RunRequest.make("flaky")], max_retries=0, backoff=0.01,
+        )
+        assert results[0].error is not None
+        assert metrics.retries == 0
+        assert CALLS["count"] == 1
+
+    def test_failed_results_are_never_cached(self, hardened_registry):
+        cache = ResultCache()
+        run_sweep([RunRequest.make("bad")], cache=cache, max_retries=0, backoff=0.01)
+        assert len(cache) == 0
+        _, metrics = run_sweep(
+            [RunRequest.make("bad")], cache=cache, max_retries=0, backoff=0.01,
+        )
+        assert metrics.cache_misses == 1 and metrics.cache_hits == 0
+
+    def test_degraded_summary_mentions_quarantine(self, hardened_registry):
+        _, metrics = run_sweep(
+            [RunRequest.make("bad")], max_retries=1, backoff=0.01,
+        )
+        assert "DEGRADED" in metrics.summary()
+        assert "retr" in metrics.summary()
+
+
+class TestHardenedPooledPath:
+    def test_hanging_worker_is_quarantined_not_fatal(self, hardened_registry):
+        _require_pool()
+        started = time.perf_counter()
+        results, metrics = run_sweep(
+            [RunRequest.make("hang"), RunRequest.make("syn")],
+            jobs=2, shard_timeout=0.5, max_retries=1, backoff=0.01,
+        )
+        elapsed = time.perf_counter() - started
+        assert elapsed < 15, "sweep waited on the hung worker"
+        assert results[0].error is not None
+        assert "shard_timeout" in results[0].error
+        assert results[1].error is None
+        assert results[1].reports == [make_report("syn-g1-fast")]
+        assert len(metrics.failed_shards) == 1
+
+    def test_dead_worker_is_retried_in_fresh_pool(self, hardened_registry, tmp_path):
+        _require_pool()
+        flag = tmp_path / "died-once.flag"
+        request = RunRequest.make("dying", overrides={"flag_path": str(flag)})
+        results, metrics = run_sweep(
+            [request], jobs=2, max_retries=2, backoff=0.01,
+        )
+        assert results[0].error is None
+        assert results[0].reports == [make_report("revived")]
+        assert metrics.retries >= 1
+        assert flag.exists()
+
+    def test_pooled_failure_degrades_like_serial(self, hardened_registry):
+        _require_pool()
+        results, metrics = run_sweep(
+            [RunRequest.make("bad"), RunRequest.make("syn")],
+            jobs=2, max_retries=1, backoff=0.01,
+        )
+        assert results[0].error is not None
+        assert "ValueError" in results[0].error
+        assert results[1].reports == [make_report("syn-g1-fast")]
+        assert len(metrics.failed_shards) == 1
+
+
+class TestCacheWriteWarning:
+    def test_first_write_failure_warns_once(self):
+        cache = ResultCache("/proc/nonexistent-cache-root")
+        with pytest.warns(RuntimeWarning, match="unwritable"):
+            cache.store("7" * 64, [make_report()])
+        # Subsequent failures stay silent: escalate the filter to
+        # errors and prove no second warning is raised.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert cache.store("8" * 64, [make_report()]) is None
+        assert cache.write_errors == 2
