@@ -16,9 +16,19 @@ are served from ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``) when
 the same call on the same source tree was benchmarked before — handy
 when iterating on one bench module's assertions.  The default is off
 so recorded wall times stay honest.
+
+Set ``REPRO_BENCH_TRACE=1`` to run every benchmark inside an ambient
+:mod:`repro.trace` session and write a Chrome trace per benchmark to
+``$REPRO_BENCH_TRACE_DIR`` (default ``.benchmarks/traces``) — one
+Perfetto-loadable file per bench, named after its test id.  Sampling
+interval comes from ``REPRO_BENCH_TRACE_INTERVAL`` (cycles, default
+1000).  Tracing adds recording overhead, so wall times recorded with
+it on are not comparable to untraced runs; simulation *results* are
+unchanged (tracing is observational by construction).
 """
 
 import os
+import re
 
 import pytest
 
@@ -55,6 +65,30 @@ def run_experiment(benchmark, capsys):
         return result
 
     return runner
+
+
+@pytest.fixture(autouse=True)
+def bench_trace(request):
+    """Opt-in per-benchmark tracing (``REPRO_BENCH_TRACE=1``).
+
+    Wraps the whole test in an ambient trace session and writes the
+    captured events as ``<trace dir>/<test id>.trace.json``.  A no-op
+    (yields immediately, no trace imports) unless the variable is set.
+    """
+    if os.environ.get("REPRO_BENCH_TRACE", "") in ("", "0"):
+        yield
+        return
+    from repro.trace import session, write_chrome_trace
+
+    interval = float(os.environ.get("REPRO_BENCH_TRACE_INTERVAL", "1000"))
+    trace_dir = os.environ.get("REPRO_BENCH_TRACE_DIR",
+                               os.path.join(".benchmarks", "traces"))
+    with session(interval=interval) as sess:
+        yield
+    slug = re.sub(r"[^A-Za-z0-9._-]+", "_", request.node.nodeid)
+    path = write_chrome_trace(os.path.join(trace_dir, f"{slug}.trace.json"),
+                              sess.tracer)
+    print(f"\n[bench trace: {path} — {sess.summary()}]")
 
 
 def render_all(reports) -> None:

@@ -38,11 +38,10 @@ def main() -> None:
     # the 12 KB write buffer overflows and partial XPLines are written
     # back via read-modify-write, 256 media bytes per 64 program bytes.
     region = heap.pm.alloc(256 * XPLINE_SIZE, align=XPLINE_SIZE)
-    snapshot = machine.pm_counters().snapshot()
-    for pass_index in range(4):
-        for xpline in range(256):
-            core.nt_store(region + xpline * XPLINE_SIZE, CACHELINE_SIZE)
-    delta = machine.pm_counters().delta(snapshot)
+    with machine.measure("pm") as delta:
+        for pass_index in range(4):
+            for xpline in range(256):
+                core.nt_store(region + xpline * XPLINE_SIZE, CACHELINE_SIZE)
     print(f"program wrote {delta.imc_write_bytes} bytes "
           f"({fmt_size(delta.imc_write_bytes)})")
     print(f"media wrote   {delta.media_write_bytes} bytes "
@@ -53,13 +52,12 @@ def main() -> None:
     # Read one cacheline per XPLine over 32 KB (misses the 16 KB read
     # buffer between passes): every 64B read costs a 256B media read.
     read_region = heap.pm.alloc(128 * XPLINE_SIZE, align=XPLINE_SIZE)
-    snapshot = machine.pm_counters().snapshot()
-    for pass_index in range(4):
-        for xpline in range(128):
-            line = read_region + xpline * XPLINE_SIZE
-            core.load(line, 8)
-            core.clflushopt(line)  # keep the CPU caches out of the picture
-    delta = machine.pm_counters().delta(snapshot)
+    with machine.measure("pm") as delta:
+        for pass_index in range(4):
+            for xpline in range(128):
+                line = read_region + xpline * XPLINE_SIZE
+                core.load(line, 8)
+                core.clflushopt(line)  # keep the CPU caches out of the picture
     print(f"read amplification: {delta.read_amplification:.2f} "
           "(would be 4.0 with CPU prefetchers disabled; the stride-4 "
           "pattern trains the streamer, whose prefetches keep part of "

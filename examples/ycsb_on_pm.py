@@ -30,21 +30,19 @@ def run_workload(name: str, region: str) -> dict:
     for op in workload.load_phase():
         table.insert(op.key, op.key)  # untimed load phase
     core = machine.new_core()
-    counters = machine.counters(region)
-    snapshot = counters.snapshot()
     start = core.now
-    for op in workload.run_phase():
-        if op.op is OpType.READ:
-            table.contains(op.key, core)
-        elif op.op in (OpType.UPDATE, OpType.INSERT):
-            table.insert(op.key, op.key, core)
-        elif op.op is OpType.READ_MODIFY_WRITE:
-            if table.contains(op.key, core):
-                table.insert(op.key, op.key + 1, core)
-        else:  # SCAN is not natural for a hash table; YCSB-E skipped
-            continue
+    with machine.measure(region) as delta:
+        for op in workload.run_phase():
+            if op.op is OpType.READ:
+                table.contains(op.key, core)
+            elif op.op in (OpType.UPDATE, OpType.INSERT):
+                table.insert(op.key, op.key, core)
+            elif op.op is OpType.READ_MODIFY_WRITE:
+                if table.contains(op.key, core):
+                    table.insert(op.key, op.key + 1, core)
+            else:  # SCAN is not natural for a hash table; YCSB-E skipped
+                continue
     elapsed = core.now - start
-    delta = machine.counters(region).delta(snapshot)
     mops = OPERATIONS / (elapsed / (machine.config.frequency_ghz * 1e9)) / 1e6
     return {
         "cycles_per_op": elapsed / OPERATIONS,

@@ -12,6 +12,8 @@ Usage::
     python -m repro crashtest                 # crash campaigns, all datastores
     python -m repro crashtest btree --points exhaustive
     python -m repro crashtest linkedlist --fault-mode torn-xpline
+    python -m repro trace fig7 --interval 1000 --out trace.json \
+        --timeline occupancy.csv              # Perfetto-loadable trace
 
 Mirrors the original artifact's ``run.py`` — one command reruns an
 experiment and prints the series/rows the corresponding paper figure
@@ -60,6 +62,35 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_run_arguments(run)
     run.add_argument(
         "--chart", action="store_true", help="render ASCII charts alongside the tables"
+    )
+    trace = sub.add_parser(
+        "trace",
+        help="run one experiment under the telemetry tracer and export "
+             "a Chrome trace (Perfetto-loadable) plus a time-series CSV",
+    )
+    trace.add_argument("experiment", help="experiment id to trace")
+    trace.add_argument("--generation", "-g", type=int, default=1, choices=(1, 2))
+    trace.add_argument("--profile", "-p", default="fast", choices=("fast", "full"))
+    trace.add_argument(
+        "--interval", type=float, default=1000.0, metavar="CYCLES",
+        help="telemetry sampling interval in simulated cycles (default 1000); "
+             "0 disables sampling and records events only",
+    )
+    trace.add_argument(
+        "--out", default="trace.json", metavar="FILE",
+        help="Chrome trace_event JSON output path (default trace.json)",
+    )
+    trace.add_argument(
+        "--timeline", default=None, metavar="FILE",
+        help="also dump the sampled time-series (.csv or .json by extension)",
+    )
+    trace.add_argument(
+        "--categories", default=None, metavar="CAT[,CAT...]",
+        help="record only these event categories (default: all)",
+    )
+    trace.add_argument(
+        "--cycles-per-us", type=float, default=1000.0, metavar="N",
+        help="simulated cycles per exported microsecond (default 1000)",
     )
     crashtest = sub.add_parser(
         "crashtest",
@@ -136,6 +167,9 @@ def main(argv: list[str] | None = None) -> int:
         for name, spec in REGISTRY.items():
             print(f"{name.ljust(width)}  {spec.title}")
         return 0
+
+    if args.command == "trace":
+        return _trace_command(args)
 
     if args.command == "crashtest":
         try:
@@ -217,6 +251,53 @@ def main(argv: list[str] | None = None) -> int:
         return 1
     if args.command == "crashtest":
         return _crashtest_verdict(results)
+    return 0
+
+
+def _trace_command(args) -> int:
+    """Run one experiment inside an ambient trace session and export.
+
+    The experiment runs serially in-process (trace sessions are
+    per-process; a worker pool would build its machines out of the
+    session's sight) and bypasses the result cache — a cached replay
+    simulates nothing and would produce an empty trace.
+    """
+    from repro.common.errors import ReproError
+    from repro.trace import session
+    from repro.trace.emit import (
+        write_chrome_trace,
+        write_timeseries_csv,
+        write_timeseries_json,
+    )
+
+    if args.experiment not in REGISTRY:
+        print(f"unknown experiment: {args.experiment}", file=sys.stderr)
+        print(f"available: {', '.join(REGISTRY)}", file=sys.stderr)
+        return 2
+    spec = REGISTRY[args.experiment]
+    categories = args.categories.split(",") if args.categories else None
+    interval = args.interval if args.interval > 0 else None
+    try:
+        with session(interval=interval, categories=categories) as sess:
+            reports = spec.run(args.generation, args.profile)
+    except (ConfigError, ReproError) as error:
+        print(f"trace failed: {error}", file=sys.stderr)
+        return 2
+    series = sess.timeseries()
+    for report in reports:
+        if series.rows and report is reports[0]:
+            report.timeseries = series.to_obj()
+        print(report.render())
+        print()
+    out = write_chrome_trace(args.out, sess.tracer, args.cycles_per_us)
+    print(f"[chrome trace: {out} — load it at https://ui.perfetto.dev]")
+    if args.timeline is not None:
+        if args.timeline.endswith(".json"):
+            timeline = write_timeseries_json(args.timeline, series)
+        else:
+            timeline = write_timeseries_csv(args.timeline, series)
+        print(f"[time-series: {timeline} ({len(series)} rows)]")
+    print(f"[trace: {sess.summary()}]")
     return 0
 
 

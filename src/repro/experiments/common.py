@@ -49,6 +49,11 @@ class ExperimentReport:
     series: list[Series] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
     x_is_size: bool | None = None
+    #: Optional attached telemetry time-series (the ``to_obj()`` form of
+    #: :class:`repro.trace.sampler.TimeSeries`), set by traced runs
+    #: (``repro trace``); None for ordinary runs, so traced and
+    #: untraced reports of the same experiment stay comparable.
+    timeseries: dict | None = None
 
     def add_series(self, name: str, values: list[float]) -> None:
         """Append one named curve (must match the x-axis length)."""
@@ -89,6 +94,7 @@ class ExperimentReport:
             "series": [{"name": s.name, "values": list(s.values)} for s in self.series],
             "notes": list(self.notes),
             "x_is_size": self.x_is_size,
+            "timeseries": self.timeseries,
         }
 
     @classmethod
@@ -102,6 +108,7 @@ class ExperimentReport:
             series=[Series(s["name"], list(s["values"])) for s in data.get("series", [])],
             notes=list(data.get("notes", [])),
             x_is_size=data.get("x_is_size"),
+            timeseries=data.get("timeseries"),
         )
 
     def to_json(self, indent: int | None = None) -> str:

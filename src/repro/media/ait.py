@@ -54,13 +54,18 @@ class AitCache:
         config.validate()
         self.config = config
         self._counters = counters
+        #: Tracer handle + track label, installed by an ambient trace
+        #: session (None ⇒ tracing off, see repro.trace.session).
+        self.tracer = None
+        self.trace_track: str | None = None
         self._entries: OrderedDict[int, None] = OrderedDict()
 
-    def lookup_penalty(self, addr: int) -> float:
+    def lookup_penalty(self, addr: int, now: float = 0.0) -> float:
         """Charge for translating ``addr``; 0 on a hit, miss penalty otherwise.
 
         The granule is installed (and LRU-refreshed) as a side effect,
-        mirroring a real translation fetch.
+        mirroring a real translation fetch.  ``now`` only timestamps
+        the trace instant a miss emits; it never affects the charge.
         """
         granule = addr // self.config.granule_bytes
         if granule in self._entries:
@@ -68,6 +73,9 @@ class AitCache:
             self._counters.ait_hits += 1
             return 0.0
         self._counters.ait_misses += 1
+        if self.tracer is not None and self.tracer.wants("ait"):
+            self.tracer.instant("ait", "miss", now, self.trace_track or "ait",
+                                granule=granule)
         self._entries[granule] = None
         if len(self._entries) > self.config.entries:
             self._entries.popitem(last=False)

@@ -74,7 +74,7 @@ class XPointMedia:
         The caller (the DIMM front-end) decides whether the requester
         blocks until ``grant.finish`` (demand read) or not (prefetch).
         """
-        penalty = self.ait.lookup_penalty(addr)
+        penalty = self.ait.lookup_penalty(addr, now=now)
         grant = self.read_ports.acquire(now, self.config.read_latency + penalty)
         self.counters.media_read_bytes += XPLINE_SIZE
         return grant
@@ -91,7 +91,7 @@ class XPointMedia:
         (longer service, and the read bytes show up in telemetry), but
         no external read port is consumed.
         """
-        penalty = self.ait.lookup_penalty(addr)
+        penalty = self.ait.lookup_penalty(addr, now=now)
         service = self.config.write_latency
         if rmw:
             service *= self.config.rmw_factor

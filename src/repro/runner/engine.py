@@ -46,6 +46,7 @@ from typing import Callable
 from repro.experiments.common import ExperimentReport, check_profile
 from repro.runner.cache import ResultCache, request_key
 from repro.runner.registry import REGISTRY, ExperimentSpec
+from repro.stats.latency import LatencyRecorder
 
 #: Exceptions that mean "no process pool here" rather than "the
 #: experiment is broken": missing /dev/shm semaphores, fork limits,
@@ -126,6 +127,16 @@ class RunMetrics:
     #: Units that exhausted their retry budget, one dict each:
     #: {"experiment", "shard" (int | None), "attempts", "reason"}.
     failed_shards: list = field(default_factory=list)
+    #: Wall-time distribution over executed work units (whole
+    #: experiments, or shards merged via LatencyRecorder.merge), in
+    #: seconds.  Cache hits cost no execution and are not recorded.
+    unit_seconds: LatencyRecorder = field(
+        default_factory=LatencyRecorder, compare=False, repr=False
+    )
+    #: Telemetry time-series sampled during the sweep (the ``to_obj()``
+    #: form of :class:`repro.trace.sampler.TimeSeries`); only set when
+    #: an ambient trace session was active and sampling.
+    timeseries: dict | None = None
 
     def utilization(self) -> float:
         """Worker busy fraction: busy time / (wall time x jobs)."""
@@ -148,6 +159,11 @@ class RunMetrics:
             parts.append(
                 f"DEGRADED: {len(self.failed_shards)} quarantined "
                 f"shard{'s' if len(self.failed_shards) != 1 else ''}"
+            )
+        if self.unit_seconds.count >= 2:
+            parts.append(
+                f"unit p50/p95: {self.unit_seconds.p50:.1f}s"
+                f"/{self.unit_seconds.p95:.1f}s"
             )
         if self.pool_fallback:
             parts.append("pool unavailable -> ran serially")
@@ -360,13 +376,17 @@ def _run_pooled(requests: list[RunRequest], jobs: int, outcomes: dict,
             continue
         if request_units[0].shard is None:
             dicts, wall = request_units[0].payload
+            metrics.unit_seconds.record(wall)
             outcomes[request] = ([ExperimentReport.from_dict(d) for d in dicts], wall)
         else:
             results, busy = [], 0.0
+            shard_seconds = LatencyRecorder()
             for unit in request_units:  # declaration order == merge order
                 result, wall = unit.payload
                 results.append(result)
                 busy += wall
+                shard_seconds.record(wall)
+            metrics.unit_seconds.merge(shard_seconds)
             outcomes[request] = _finish(request, _spec_for(request), results, busy)
 
 
@@ -462,8 +482,13 @@ def run_sweep(
         attempts = 0
         while True:
             try:
+                first_sampler = _sampler_mark()
                 dicts, wall = _execute(request)
-                finalize(request, [ExperimentReport.from_dict(d) for d in dicts], wall)
+                metrics.unit_seconds.record(wall)
+                reports = [ExperimentReport.from_dict(d) for d in dicts]
+                finalize(request, reports, wall)
+                # Post-finalize, so the cache keeps the untraced form.
+                _attach_timeseries(reports, first_sampler)
                 break
             except Exception as error:
                 attempts += 1
@@ -479,5 +504,45 @@ def run_sweep(
                 metrics.retries += 1
                 time.sleep(backoff * (2 ** (attempts - 1)))
 
+    session = _active_trace_session()
+    if session is not None and session.samplers:
+        metrics.timeseries = session.timeseries().to_obj()
     metrics.wall_time = time.perf_counter() - started
     return [results[request] for request in requests], metrics
+
+
+def _active_trace_session():
+    """The ambient trace session, without importing repro.trace eagerly."""
+    import sys
+
+    module = sys.modules.get("repro.trace.session")
+    return module.active_session() if module is not None else None
+
+
+def _sampler_mark() -> int:
+    """How many samplers the ambient session holds right now.
+
+    Taken before an in-process execution; samplers appended past the
+    mark belong to machines that execution built.
+    """
+    session = _active_trace_session()
+    return len(session.samplers) if session is not None else 0
+
+
+def _attach_timeseries(reports: list[ExperimentReport], first_sampler: int) -> None:
+    """Attach one request's sampled rows to its first report.
+
+    Only does anything when an ambient trace session sampled during the
+    request (serial in-process execution — pool workers build their
+    machines in other processes, far from this session).
+    """
+    session = _active_trace_session()
+    if session is None or not reports:
+        return
+    from repro.trace.sampler import TimeSeries
+
+    merged = TimeSeries()
+    for sampler in session.samplers[first_sampler:]:
+        merged.extend(sampler.series)
+    if merged.rows:
+        reports[0].timeseries = merged.to_obj()

@@ -19,7 +19,9 @@ and cache-hit absorption).
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Iterator
 
 
 @dataclass
@@ -71,6 +73,31 @@ class TelemetryCounters:
         """Zero every counter in place."""
         for name in vars(self):
             setattr(self, name, 0)
+
+    @contextmanager
+    def measure(self) -> "Iterator[TelemetryDelta]":
+        """Measure a region of interest: snapshot, run, diff.
+
+        Yields a :class:`TelemetryDelta` whose fields are zero inside
+        the ``with`` body and are filled in when it exits — the
+        snapshot/delta idiom as one construct::
+
+            with machine.registry.get("pm0").measure() as delta:
+                run_benchmark(core)
+            print(delta.write_amplification)
+
+        Only meaningful on *live* counters (ones a device is updating);
+        for an aggregate over several DIMMs use
+        :meth:`TelemetryRegistry.measure`.
+        """
+        before = self.snapshot()
+        delta = TelemetryDelta()
+        try:
+            yield delta
+        finally:
+            result = self.delta(before)
+            for name in vars(result):
+                setattr(delta, name, getattr(result, name))
 
 
 @dataclass
@@ -174,3 +201,21 @@ class TelemetryRegistry:
         """Zero every registered counter."""
         for counters in self._counters.values():
             counters.reset()
+
+    @contextmanager
+    def measure(self, prefix: str = "") -> "Iterator[TelemetryDelta]":
+        """Measure counters accumulated across a ``with`` body.
+
+        Like :meth:`TelemetryCounters.measure`, but over the aggregate
+        of every device whose name starts with ``prefix`` — the form
+        experiments want, since :meth:`aggregate` returns a detached
+        sum that a later re-read would not update.
+        """
+        before = self.aggregate(prefix)
+        delta = TelemetryDelta()
+        try:
+            yield delta
+        finally:
+            result = self.aggregate(prefix).delta(before)
+            for name in vars(result):
+                setattr(delta, name, getattr(result, name))

@@ -93,6 +93,48 @@ class LatencyRecorder:
         for sample in samples:
             self.record(sample)
 
+    def merge(self, other: "LatencyRecorder") -> None:
+        """Fold another recorder into this one (shard-histogram merge).
+
+        Running moments (count/mean/stddev/min/max) stay exact; the
+        percentile reservoirs are concatenated and re-thinned to the
+        cap, so merged percentiles carry the same approximation
+        quality as a single recorder that thinned.  Lets a parallel
+        sweep keep one recorder per shard and combine them afterwards.
+        """
+        self.count += other.count
+        self.total += other.total
+        self.total_sq += other.total_sq
+        if other.count:
+            self.minimum = min(self.minimum, other.minimum)
+            self.maximum = max(self.maximum, other.maximum)
+        self._samples.extend(other._samples)
+        self._stride = max(self._stride, other._stride)
+        while len(self._samples) > self._max_samples:
+            self._samples = self._samples[::2]
+            self._stride *= 2
+
+    def percentile(self, fraction: float) -> float:
+        """One percentile (``fraction`` in [0, 1]) over retained samples."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("percentile fraction must be within [0, 1]")
+        return _percentile(sorted(self._samples), fraction)
+
+    @property
+    def p50(self) -> float:
+        """Median latency (approximate once thinning kicked in)."""
+        return self.percentile(0.50)
+
+    @property
+    def p95(self) -> float:
+        """95th-percentile latency."""
+        return self.percentile(0.95)
+
+    @property
+    def p99(self) -> float:
+        """99th-percentile latency."""
+        return self.percentile(0.99)
+
     @property
     def mean(self) -> float:
         """Exact arithmetic mean of all recorded samples."""

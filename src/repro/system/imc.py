@@ -55,6 +55,10 @@ class IMCChannel:
             raise ConfigError(f"{name}: accept_latency cannot be negative")
         self.device = device
         self.name = name
+        #: Tracer handle + track label, installed by an ambient trace
+        #: session (None ⇒ tracing off, see repro.trace.session).
+        self.tracer = None
+        self.trace_track: str | None = None
         self.accept_latency = accept_latency
         self._wpq_busy: list[Cycles] = [0.0] * wpq_slots
         self.inflight = InflightPersists()
@@ -100,6 +104,11 @@ class IMCChannel:
         response = self.device.ingest_write(acceptance, addr)
         self._wpq_busy[index] = response.ingest_finish
         self.inflight.add(cacheline_index(addr), response.persist_completion)
+        if self.tracer is not None and self.tracer.wants("imc"):
+            track = self.trace_track or self.name
+            self.tracer.counter("imc", "wpq", now, self.wpq_occupancy(now), track)
+            if issue_ready > now:
+                self.tracer.span("imc", "wpq-full", now, issue_ready, track, addr=addr)
         return WpqGrant(
             issue_ready=issue_ready,
             acceptance=acceptance,

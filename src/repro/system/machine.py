@@ -27,6 +27,7 @@ Timing semantics worth calling out (each maps to a paper finding):
 
 from __future__ import annotations
 
+import weakref
 import zlib
 from collections import deque
 from dataclasses import dataclass, field, replace
@@ -179,6 +180,20 @@ class Machine:
         for spec in config.regions:
             self._regions.append(self._build_region(spec))
         self._regions.sort(key=lambda region: region.spec.base)
+        #: Weak refs to the cores created via new_core.  Weak, not
+        #: strong: a strong list would close a Machine -> Core ->
+        #: Machine cycle, parking every discarded machine (and its
+        #: whole cache hierarchy) on the cyclic collector instead of
+        #: freeing it by refcount — measurably slowing untraced sweeps.
+        self._core_refs: list[weakref.ref] = []
+        #: Trace handle installed by an ambient repro.trace session
+        #: (None ⇒ tracing off; every probe reduces to one attribute
+        #: test).  The import is local so building a machine does not
+        #: pull the trace package in when tracing is never used.
+        self.trace = None
+        from repro.trace.session import attach_if_active
+
+        attach_if_active(self)
 
     # -- construction -----------------------------------------------------
 
@@ -225,7 +240,32 @@ class Machine:
 
     def new_core(self, name: str = "cpu0") -> "Core":
         """Create an execution context on this machine."""
-        return Core(self, name)
+        core = Core(self, name)
+        self._core_refs.append(weakref.ref(core))
+        if self.trace is not None:
+            core.trace_track = f"{self.trace.label}.{name}"
+        return core
+
+    @property
+    def cores(self) -> list["Core"]:
+        """The live cores created on this machine (observability hook)."""
+        alive = []
+        refs = []
+        for ref in self._core_refs:
+            core = ref()
+            if core is not None:
+                alive.append(core)
+                refs.append(ref)
+        self._core_refs = refs
+        return alive
+
+    def channels(self) -> dict[str, IMCChannel]:
+        """Every iMC channel, keyed by its device's name (``pm0``, ...)."""
+        return {
+            channel.device.name: channel
+            for region in self._regions
+            for channel in region.channels
+        }
 
     # -- telemetry -----------------------------------------------------------
 
@@ -237,10 +277,21 @@ class Machine:
         """Aggregate over the default local-PM region."""
         return self.counters("pm")
 
+    def measure(self, region_name: str = "pm"):
+        """Context manager measuring one region's counter deltas.
+
+        ``with machine.measure("pm") as delta: ...`` replaces the
+        manual snapshot/delta pair (see
+        :meth:`~repro.stats.counters.TelemetryRegistry.measure`).
+        """
+        return self.registry.measure(region_name)
+
     # -- memory operations (called by Core) -------------------------------------
 
     def demand_load(self, now: Cycles, addr: int, core: "Core") -> Cycles:
         """One 64 B demand load; returns its completion time."""
+        if self.trace is not None:
+            self.trace.on_op(now)
         line = cacheline_index(addr)
         result = self.caches.access(line, is_write=False)
         if result.hit_level is not None:
@@ -257,6 +308,8 @@ class Machine:
     def _load_from_memory(self, now: Cycles, addr: int, line: int, core: "Core") -> Cycles:
         region = self.region_of(addr)
         channel = region.channel_for(addr)
+        trace = self.trace
+        start = now
         stall = channel.persist_stall(now, addr)
         if stall is not None:
             if core.window_contains(line):
@@ -265,6 +318,9 @@ class Machine:
                 return now + self.config.caches.l1.latency
             if core.last_fence == "sfence":
                 stall = now + (stall - now) * (1.0 - self.config.timing.sfence_rap_overlap)
+            if trace is not None and stall > now and trace.tracer.wants("persist"):
+                trace.tracer.span("persist", "rap-stall", now, stall,
+                                  core.trace_track or trace.label, addr=addr)
             now = max(now, stall)
         response = channel.read(now, addr, demand=True)
         finish = response.finish
@@ -272,6 +328,10 @@ class Machine:
             finish += region.spec.remote_read_adder
         writebacks = self.caches.fill(line, dirty=False, into_l1=True)
         self._handle_llc_writebacks(writebacks, now)
+        if trace is not None and trace.tracer.wants("cache"):
+            trace.tracer.span("cache", "load-miss", start, finish,
+                              core.trace_track or trace.label,
+                              addr=addr, source=response.source)
         return finish
 
     def demand_store(self, now: Cycles, addr: int, core: "Core") -> Cycles:
@@ -282,6 +342,8 @@ class Machine:
         is what keeps write latency flat at any working-set size
         (Figure 8 c).
         """
+        if self.trace is not None:
+            self.trace.on_op(now)
         line = cacheline_index(addr)
         result = self.caches.access(line, is_write=True)
         if result.hit_level is not None:
@@ -306,19 +368,31 @@ class Machine:
         prefetchers — the property the redirection optimization relies
         on to stop misprefetching.
         """
+        trace = self.trace
+        if trace is not None:
+            trace.on_op(now)
+        start = now
         region = self.region_of(addr)
         channel = region.channel_for(addr)
         stall = channel.persist_stall(now, addr)
         if stall is not None:
+            if trace is not None and stall > now and trace.tracer.wants("persist"):
+                trace.tracer.span("persist", "rap-stall", now, stall,
+                                  trace.label, addr=addr)
             now = max(now, stall)
         response = channel.read(now, addr, demand=True)
         finish = response.finish
         if region.spec.remote:
             finish += region.spec.remote_read_adder
+        if trace is not None and trace.tracer.wants("cache"):
+            trace.tracer.span("cache", "stream-load", start, finish,
+                              trace.label, addr=addr, source=response.source)
         return finish
 
     def flush_line(self, now: Cycles, addr: int, core: "Core", invalidate: bool) -> Cycles:
         """clwb / clflush(opt) of one line; returns instruction finish time."""
+        if self.trace is not None:
+            self.trace.on_op(now)
         line = cacheline_index(addr)
         timing = self.config.timing
         retained = not invalidate
@@ -338,6 +412,12 @@ class Machine:
             acceptance += region.spec.remote_write_adder
             channel.inflight.add(line, grant.persist_completion + region.spec.remote_persist_adder)
         core.note_acceptance(acceptance)
+        trace = self.trace
+        if trace is not None and trace.tracer.wants("persist"):
+            track = core.trace_track or trace.label
+            trace.tracer.span("persist", "flush", now, acceptance, track, addr=addr)
+            trace.tracer.span("persist", "drain", acceptance,
+                              grant.persist_completion, track, addr=addr)
         if invalidate:
             if was_inflight:
                 # Re-flushing a line whose previous persist is still in
@@ -353,6 +433,8 @@ class Machine:
 
     def nt_store_line(self, now: Cycles, addr: int, core: "Core") -> Cycles:
         """One 64 B non-temporal store; returns instruction finish time."""
+        if self.trace is not None:
+            self.trace.on_op(now)
         line = cacheline_index(addr)
         self.caches.invalidate(line)
         region = self.region_of(addr)
@@ -363,6 +445,12 @@ class Machine:
             acceptance += region.spec.remote_write_adder
             channel.inflight.add(line, grant.persist_completion + region.spec.remote_persist_adder)
         core.note_acceptance(acceptance)
+        trace = self.trace
+        if trace is not None and trace.tracer.wants("persist"):
+            track = core.trace_track or trace.label
+            trace.tracer.span("persist", "nt-store", now, acceptance, track, addr=addr)
+            trace.tracer.span("persist", "drain", acceptance,
+                              grant.persist_completion, track, addr=addr)
         return max(now, grant.issue_ready) + self.config.timing.ntstore_issue
 
     # -- internals ---------------------------------------------------------------
@@ -428,6 +516,9 @@ class Core:
         self.machine = machine
         self.name = name
         self.now: Cycles = 0.0
+        #: Trace track this core's spans land on (set by Machine.new_core
+        #: when an ambient trace session is active).
+        self.trace_track: str | None = None
         self.last_fence: str = "mfence"
         self._pending_acceptances: list[Cycles] = []
         self._recent_flushes: deque[int] = deque(
@@ -456,6 +547,11 @@ class Core:
     def window_contains(self, line: int) -> bool:
         """True if a load may still overtake the flush of ``line``."""
         return line in self._recent_flushes
+
+    @property
+    def store_buffer_pending(self) -> int:
+        """Flush acceptances no fence has consumed yet (backlog depth)."""
+        return len(self._pending_acceptances)
 
     # -- data operations ---------------------------------------------------------
 
@@ -537,6 +633,7 @@ class Core:
         self.now = max(self.now + self.machine.config.timing.sfence_cost, target)
         self._pending_acceptances.clear()
         self.last_fence = "sfence"
+        self._trace_fence("sfence", start)
         return self.now - start
 
     def mfence(self) -> Cycles:
@@ -548,7 +645,18 @@ class Core:
         self._pending_acceptances.clear()
         self._recent_flushes.clear()
         self.last_fence = "mfence"
+        self._trace_fence("mfence", start)
         return self.now - start
+
+    def _trace_fence(self, kind: str, start: Cycles) -> None:
+        """Emit a persist span for one executed fence (traced runs only)."""
+        trace = self.machine.trace
+        if trace is None:
+            return
+        if trace.tracer.wants("persist"):
+            trace.tracer.span("persist", kind, start, self.now,
+                              self.trace_track or trace.label)
+        trace.on_op(self.now)
 
     def fence(self, kind: str = "sfence") -> Cycles:
         """Dispatch to sfence/mfence by name (benchmark convenience)."""

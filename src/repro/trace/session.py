@@ -1,0 +1,186 @@
+"""Trace sessions: attach a tracer + sampler to every machine built.
+
+Experiments construct their machines internally (often one per sweep
+point), so tracing cannot be wired by handing a tracer to a specific
+``Machine``.  Instead — like ETW or ``perf`` — a *session* is ambient:
+
+    from repro.trace import session
+
+    with session(interval=1000) as sess:
+        reports = fig07.run(1, "fast")        # unmodified experiment
+    sess.chrome_trace()                        # every machine captured
+
+While a session is active, :class:`~repro.system.machine.Machine`
+construction calls :func:`attach_if_active`, which installs the
+session's tracer onto the machine and its components (iMC channels,
+DIMMs, AIT caches) and starts a per-machine
+:class:`~repro.trace.sampler.TelemetrySampler` when ``interval`` is
+set.  Each machine becomes one Chrome-trace *process*
+(``machine0``, ``machine1``, ...), keeping per-track timestamps
+monotonic even when an experiment builds a fresh machine per point.
+
+With no active session every handle stays ``None`` and the
+instrumentation reduces to one attribute test per operation.
+Sessions are per-process: worker processes of a parallel sweep build
+their machines far from the parent's session, so ``repro trace`` runs
+experiments serially in-process.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.sim.clock import Cycles
+from repro.trace.events import Tracer
+from repro.trace.sampler import TelemetrySampler, TimeSeries
+
+#: The ambient session, if any (set by the :func:`session` context
+#: manager, read by Machine construction via :func:`attach_if_active`).
+_ACTIVE: "TraceSession | None" = None
+
+
+class MachineTrace:
+    """The per-machine trace handle (``machine.trace``).
+
+    Bundles the session tracer, the machine's sampler (None when the
+    session samples nothing) and the machine's track label.  The
+    machine's hot paths call :meth:`on_op` once per memory operation.
+    """
+
+    __slots__ = ("tracer", "sampler", "label")
+
+    def __init__(self, tracer: Tracer, sampler: TelemetrySampler | None,
+                 label: str) -> None:
+        """Bundle ``tracer``/``sampler`` under the machine's ``label``."""
+        self.tracer = tracer
+        self.sampler = sampler
+        self.label = label
+
+    def on_op(self, now: Cycles) -> None:
+        """Advance sampling to ``now`` (called per memory operation)."""
+        if self.sampler is not None:
+            self.sampler.maybe_sample(now)
+
+
+class TraceSession:
+    """One observation window: a tracer plus a sampler per machine."""
+
+    def __init__(self, interval: Cycles | None = None, categories=None,
+                 max_events: int = 200_000, max_rows: int = 200_000) -> None:
+        """Create a session; ``interval=None`` disables sampling."""
+        self.tracer = Tracer(categories, max_events=max_events)
+        self.interval = interval
+        self.max_rows = max_rows
+        self.samplers: list[TelemetrySampler] = []
+        self._machines = 0
+
+    def attach(self, machine) -> None:
+        """Instrument ``machine`` and its components with this session.
+
+        Safe to call manually on a machine built outside the session
+        window; machines built while the session is active are
+        attached automatically.
+        """
+        label = f"machine{self._machines}"
+        self._machines += 1
+        sampler = None
+        if self.interval is not None:
+            sampler = TelemetrySampler(machine, self.interval,
+                                       tracer=self.tracer, label=label,
+                                       max_rows=self.max_rows)
+            self.samplers.append(sampler)
+        machine.trace = MachineTrace(self.tracer, sampler, label)
+        for core in machine.cores:
+            core.trace_track = f"{label}.{core.name}"
+        for name, channel in machine.channels().items():
+            track = f"{label}.{name}"
+            channel.tracer = self.tracer
+            channel.trace_track = f"{label}.imc.{name}"
+            device = channel.device
+            device.tracer = self.tracer
+            device.trace_track = track
+            media = getattr(device, "media", None)
+            ait = getattr(media, "ait", None)
+            if ait is not None:
+                ait.tracer = self.tracer
+                ait.trace_track = f"{track}.ait"
+
+    @property
+    def machines(self) -> int:
+        """How many machines this session has instrumented."""
+        return self._machines
+
+    def timeseries(self) -> TimeSeries:
+        """All samplers' rows merged into one :class:`TimeSeries`.
+
+        Rows keep per-sampler order; the ``device`` column alone does
+        not disambiguate machines, so multi-machine consumers should
+        iterate :attr:`samplers` (each carries its machine label).
+        """
+        merged = TimeSeries()
+        for sampler in self.samplers:
+            merged.extend(sampler.series)
+        return merged
+
+    def dropped_rows(self) -> int:
+        """Total sampler rows discarded over the row cap."""
+        return sum(sampler.dropped for sampler in self.samplers)
+
+    def chrome_trace(self, cycles_per_us: float = 1000.0) -> dict:
+        """The session's events as a Chrome trace dict (see emit.py)."""
+        from repro.trace.emit import to_chrome_trace
+
+        return to_chrome_trace(self.tracer, cycles_per_us)
+
+    def summary(self) -> str:
+        """One-line human summary (the CLI prints this after a trace)."""
+        counts = self.tracer.by_category()
+        cats = " ".join(f"{name}={counts[name]}" for name in sorted(counts))
+        parts = [
+            f"{len(self.tracer.events)} events over {self._machines} "
+            f"machine{'s' if self._machines != 1 else ''}",
+            cats or "no events",
+        ]
+        if self.interval is not None:
+            rows = sum(len(s.series) for s in self.samplers)
+            parts.append(f"{rows} samples @ {self.interval:g} cycles")
+        if self.tracer.dropped:
+            parts.append(f"{self.tracer.dropped} events dropped (cap)")
+        if self.dropped_rows():
+            parts.append(f"{self.dropped_rows()} samples dropped (cap)")
+        return ", ".join(parts)
+
+
+def active_session() -> TraceSession | None:
+    """The ambient session, or None when tracing is off."""
+    return _ACTIVE
+
+
+def attach_if_active(machine) -> None:
+    """Attach ``machine`` to the ambient session, if one is active.
+
+    Called by ``Machine.__init__``; a no-op (one global read) when no
+    session is open.
+    """
+    if _ACTIVE is not None:
+        _ACTIVE.attach(machine)
+
+
+@contextmanager
+def session(interval: Cycles | None = None, categories=None,
+            max_events: int = 200_000, max_rows: int = 200_000):
+    """Open an ambient :class:`TraceSession` for the ``with`` body.
+
+    Every machine constructed inside the body is instrumented; the
+    previous ambient session (if any) is restored on exit, so sessions
+    nest without leaking.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    current = TraceSession(interval=interval, categories=categories,
+                           max_events=max_events, max_rows=max_rows)
+    _ACTIVE = current
+    try:
+        yield current
+    finally:
+        _ACTIVE = previous

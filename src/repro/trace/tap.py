@@ -1,0 +1,75 @@
+"""Bridge between fault-injection event taps and the tracer.
+
+The crash-campaign rig (:mod:`repro.faults.hooks`) already intercepts
+every persistence-relevant operation a workload issues — stores,
+flushes, nt-stores, fences — in program order, via
+:class:`~repro.faults.hooks.EventTap` behind a
+:class:`~repro.faults.hooks.HookedCore`.  Rather than duplicating that
+plumbing, :class:`TracingTap` *is* an ``EventTap`` that additionally
+mirrors each event into a tracer as a ``persist``-category instant, so
+a traced workload shows its program-order persistence stream alongside
+the hardware-level spans the machine emits.
+
+Use :func:`trace_core` to wrap a core for tracing the way crash
+campaigns wrap one for injection::
+
+    from repro.trace import Tracer, trace_core
+
+    tracer = Tracer()
+    traced = trace_core(machine.new_core(), tracer)
+    datastore.insert(key, value, core=traced)   # runs unmodified
+"""
+
+from __future__ import annotations
+
+from repro.faults.hooks import EventTap, HookedCore
+from repro.trace.events import Tracer
+
+
+class TracingTap(EventTap):
+    """An :class:`EventTap` that mirrors its event stream into a tracer.
+
+    The full tap contract is preserved — global event indexing, the
+    durability ledger, crash-point arming via ``stop_at`` — so a
+    traced run can double as a campaign dry run.  Each recorded event
+    becomes a ``persist`` instant carrying the event index, address and
+    workload-op index as args.
+
+    ``HookedCore`` forwards every operation to the real core *before*
+    reporting it, so by the time :meth:`_record` runs the bound core's
+    clock already reads the operation's completion time — that is the
+    timestamp each instant gets.  :meth:`bind` is called by
+    :func:`trace_core`; an unbound tap stamps events at cycle 0.
+    """
+
+    def __init__(self, tracer: Tracer, track: str = "workload",
+                 checker=None, stop_at: int | None = None) -> None:
+        """Create a tap mirroring into ``tracer`` on ``track``."""
+        super().__init__(checker=checker, stop_at=stop_at)
+        self.tracer = tracer
+        self.track = track
+        self._core = None
+
+    def bind(self, core) -> None:
+        """Read timestamps from ``core``'s local clock from now on."""
+        self._core = core
+
+    def _record(self, kind: str, addr: int, size: int) -> None:
+        if self.tracer.wants("persist"):
+            now = self._core.now if self._core is not None else 0.0
+            self.tracer.instant(
+                "persist", kind, now, self.track,
+                index=self.count, addr=addr, op=self.op_index,
+            )
+        super()._record(kind, addr, size)
+
+
+def trace_core(core, tracer: Tracer, track: str | None = None) -> HookedCore:
+    """Wrap ``core`` so its persistence events land in ``tracer``.
+
+    ``track`` defaults to the core's name.  The returned object
+    satisfies the same ``CoreLike`` protocol the datastores use.
+    """
+    tap = TracingTap(tracer, track=track or getattr(core, "name", "workload"))
+    tap.bind(core)
+    return HookedCore(core, tap)

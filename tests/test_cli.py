@@ -93,6 +93,52 @@ class TestRun:
         out = capsys.readouterr().out
         assert "served from cache" not in out
 
+    def test_trace_fig4_exports_artifacts(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        timeline = tmp_path / "occupancy.csv"
+        assert main(["trace", "fig4", "--interval", "1000",
+                     "--out", str(out), "--timeline", str(timeline)]) == 0
+        printed = capsys.readouterr().out
+        assert "[chrome trace:" in printed and "[trace:" in printed
+        from repro.trace import validate_chrome_trace
+
+        stats = validate_chrome_trace(out)
+        assert stats["events"] > 0 and len(stats["categories"]) >= 4
+        assert timeline.read_text().startswith("ts,device")
+
+    def test_trace_timeline_json(self, tmp_path, capsys):
+        import json
+
+        timeline = tmp_path / "occupancy.json"
+        assert main(["trace", "fig4", "--interval", "1000",
+                     "--out", str(tmp_path / "t.json"),
+                     "--timeline", str(timeline)]) == 0
+        data = json.loads(timeline.read_text())
+        assert data["columns"][:2] == ["ts", "device"] and data["rows"]
+
+    def test_trace_zero_interval_disables_sampling(self, tmp_path, capsys):
+        assert main(["trace", "fig4", "--interval", "0",
+                     "--out", str(tmp_path / "t.json")]) == 0
+        assert "samples @" not in capsys.readouterr().out
+
+    def test_trace_category_filter(self, tmp_path):
+        import json
+
+        out = tmp_path / "t.json"
+        assert main(["trace", "fig4", "--categories", "imc,persist",
+                     "--out", str(out)]) == 0
+        cats = {e.get("cat") for e in json.loads(out.read_text())["traceEvents"]
+                if e["ph"] != "M"}
+        assert cats <= {"imc", "persist"}
+
+    def test_trace_unknown_experiment(self, capsys):
+        assert main(["trace", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_trace_bad_category_fails_cleanly(self, capsys):
+        assert main(["trace", "fig4", "--categories", "bogus"]) == 2
+        assert "trace failed" in capsys.readouterr().err
+
     def test_experiment_table_complete(self):
         # Every experiment id the README/DESIGN mention is runnable.
         for required in ("fig2", "fig3", "fig4", "sec33", "fig6", "fig7",

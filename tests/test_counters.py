@@ -96,3 +96,61 @@ class TestRegistry:
         registry.register("pm0").imc_read_bytes = 10
         registry.reset()
         assert registry.get("pm0").imc_read_bytes == 0
+
+
+class TestMeasure:
+    def test_counters_measure_captures_region(self):
+        counters = TelemetryCounters(imc_read_bytes=100)
+        with counters.measure() as delta:
+            counters.imc_read_bytes += 64
+            counters.media_read_bytes += 256
+        assert delta.imc_read_bytes == 64
+        assert delta.media_read_bytes == 256
+        assert delta.read_amplification == 4.0
+
+    def test_delta_filled_only_at_exit(self):
+        counters = TelemetryCounters()
+        with counters.measure() as delta:
+            counters.imc_write_bytes += 64
+            assert delta.imc_write_bytes == 0  # not yet finalized
+        assert delta.imc_write_bytes == 64
+
+    def test_measure_filled_even_on_exception(self):
+        counters = TelemetryCounters()
+        with pytest.raises(RuntimeError):
+            with counters.measure() as delta:
+                counters.imc_write_bytes += 64
+                raise RuntimeError("boom")
+        assert delta.imc_write_bytes == 64
+
+    def test_registry_measure_spans_devices(self):
+        registry = TelemetryRegistry()
+        pm0 = registry.register("pm0")
+        pm1 = registry.register("pm1")
+        registry.register("dram0").imc_read_bytes = 999
+        with registry.measure("pm") as delta:
+            pm0.imc_read_bytes += 10
+            pm1.imc_read_bytes += 20
+        assert delta.imc_read_bytes == 30
+
+    def test_registry_measure_sees_devices_mutated_in_place(self):
+        # aggregate() returns a detached sum, so measuring *it* would
+        # observe nothing; registry.measure re-aggregates at exit.
+        registry = TelemetryRegistry()
+        device = registry.register("pm0")
+        with registry.measure() as delta:
+            device.imc_read_bytes += 64
+        assert delta.imc_read_bytes == 64
+
+    def test_machine_measure_delegates_to_registry(self):
+        from repro.persist import PmHeap
+        from repro.system import g1_machine
+
+        machine = g1_machine()
+        heap = PmHeap(machine)
+        core = machine.new_core()
+        addr = heap.pm.alloc_xpline()
+        with machine.measure("pm") as delta:
+            core.nt_store(addr, 64)
+            core.sfence()
+        assert delta.imc_write_bytes == 64

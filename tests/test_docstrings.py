@@ -38,6 +38,12 @@ LINTED_MODULES = [
     SRC / "faults" / "schedule.py",
     SRC / "faults" / "validators.py",
     SRC / "faults" / "workloads.py",
+    SRC / "trace" / "__init__.py",
+    SRC / "trace" / "emit.py",
+    SRC / "trace" / "events.py",
+    SRC / "trace" / "sampler.py",
+    SRC / "trace" / "session.py",
+    SRC / "trace" / "tap.py",
 ]
 
 

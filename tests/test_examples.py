@@ -28,6 +28,7 @@ ALL_EXAMPLES = [
     "characterize_device",
     "analyze_workload",
     "parallel_sweep",
+    "trace_rap",
 ]
 
 

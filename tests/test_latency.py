@@ -89,6 +89,81 @@ class TestLatencyRecorder:
         assert recorder.minimum == min(samples)
         assert recorder.maximum == max(samples)
 
+    def test_percentile_accessors(self):
+        recorder = LatencyRecorder()
+        recorder.extend(range(101))
+        assert recorder.percentile(0.5) == pytest.approx(50.0)
+        assert recorder.p50 == pytest.approx(50.0)
+        assert recorder.p95 == pytest.approx(95.0)
+        assert recorder.p99 == pytest.approx(99.0)
+
+    def test_percentile_rejects_out_of_range(self):
+        recorder = LatencyRecorder()
+        recorder.record(1.0)
+        with pytest.raises(ValueError):
+            recorder.percentile(1.5)
+        with pytest.raises(ValueError):
+            recorder.percentile(-0.1)
+
+    def test_percentile_of_empty_is_zero(self):
+        assert LatencyRecorder().p95 == 0.0
+
+
+class TestMerge:
+    def test_merge_is_exact_for_moments(self):
+        left, right, whole = LatencyRecorder(), LatencyRecorder(), LatencyRecorder()
+        a, b = [3.0, 1.0, 9.0], [2.0, 8.0, 4.0, 6.0]
+        left.extend(a)
+        right.extend(b)
+        whole.extend(a + b)
+        left.merge(right)
+        assert left.count == whole.count
+        assert left.mean == pytest.approx(whole.mean)
+        assert left.stddev == pytest.approx(whole.stddev)
+        assert left.minimum == whole.minimum
+        assert left.maximum == whole.maximum
+
+    def test_merge_empty_is_identity(self):
+        recorder = LatencyRecorder()
+        recorder.extend([5.0, 7.0])
+        recorder.merge(LatencyRecorder())
+        assert recorder.count == 2
+        assert recorder.minimum == 5.0 and recorder.maximum == 7.0
+
+    def test_merge_into_empty(self):
+        recorder = LatencyRecorder()
+        shard = LatencyRecorder()
+        shard.extend([5.0, 7.0])
+        recorder.merge(shard)
+        assert recorder.count == 2
+        assert recorder.p50 == pytest.approx(6.0)
+
+    def test_merge_respects_sample_cap(self):
+        left = LatencyRecorder(max_samples=64)
+        right = LatencyRecorder(max_samples=64)
+        left.extend(range(500))
+        right.extend(range(500, 1000))
+        left.merge(right)
+        assert left.count == 1000
+        assert len(left._samples) <= 65
+        assert left.maximum == 999
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=100),
+        st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=100),
+    )
+    def test_merge_matches_concatenation(self, a, b):
+        merged, whole = LatencyRecorder(), LatencyRecorder()
+        shard = LatencyRecorder()
+        merged.extend(a)
+        shard.extend(b)
+        whole.extend(a + b)
+        merged.merge(shard)
+        assert merged.count == whole.count
+        assert merged.mean == pytest.approx(whole.mean, rel=1e-9, abs=1e-6)
+        assert merged.minimum == whole.minimum
+        assert merged.maximum == whole.maximum
+
 
 class TestTimeBreakdown:
     def test_charge_accumulates(self):
