@@ -5,10 +5,12 @@ it runs the corresponding experiment (fast profile by default — set
 ``REPRO_PROFILE=full`` for the EXPERIMENTS.md numbers), prints the
 same rows/series the paper plots, and asserts the shape claims.
 
-``pytest benchmarks/ --benchmark-only`` runs everything; wall-clock of
-each experiment is captured by pytest-benchmark via one pedantic round
-(these are simulations — the interesting output is the printed report,
-not the wall time).
+``pytest benchmarks/ --benchmark-only -m ""`` runs everything (the
+``-m ""`` clears the project-wide ``-m "not slow"`` filter — every
+bench is marked ``slow``, the multi-minute ones ``campaign`` too);
+wall-clock of each experiment is captured by pytest-benchmark via one
+pedantic round (these are simulations — the interesting output is the
+printed report, not the wall time).
 
 The harness is wired through :mod:`repro.runner`'s on-disk result
 cache: set ``REPRO_BENCH_CACHE=1`` and report-producing experiments
@@ -31,6 +33,28 @@ import os
 import re
 
 import pytest
+
+#: Bench modules whose fast-profile run still takes minutes; they get
+#: the ``campaign`` marker on top of the ``slow`` every bench carries.
+_CAMPAIGN_MODULES = (
+    "bench_fig08_latency",
+    "bench_fig10_cceh_helper",
+    "bench_fig12_btree",
+    "bench_fig14_redirection_scale",
+    "bench_table1_cceh_breakdown",
+)
+
+
+def pytest_collection_modifyitems(items):
+    """Every benchmark is at least ``slow`` (each runs a whole
+    experiment); the multi-minute ones are ``campaign`` too.  Select
+    them explicitly with ``-m slow`` / ``-m campaign`` or clear the
+    project-wide filter with ``-m ""``.
+    """
+    for item in items:
+        item.add_marker(pytest.mark.slow)
+        if any(name in item.nodeid for name in _CAMPAIGN_MODULES):
+            item.add_marker(pytest.mark.campaign)
 
 
 @pytest.fixture

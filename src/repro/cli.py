@@ -14,6 +14,10 @@ Usage::
     python -m repro crashtest linkedlist --fault-mode torn-xpline
     python -m repro trace fig7 --interval 1000 --out trace.json \
         --timeline occupancy.csv              # Perfetto-loadable trace
+    python -m repro validate                  # check every paper claim
+    python -m repro validate --profile fast --json fidelity.json
+    python -m repro validate --expect-fail read_buffer=off   # oracle smoke
+    python -m repro validate --determinism    # differential checks too
 
 Mirrors the original artifact's ``run.py`` — one command reruns an
 experiment and prints the series/rows the corresponding paper figure
@@ -113,6 +117,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="fault injected at each crash point (default power-loss)",
     )
     _add_common_run_arguments(crashtest)
+    validate = sub.add_parser(
+        "validate",
+        help="check the paper's claims (EXPERIMENTS.md) against experiment "
+             "reports and print/export a fidelity report",
+    )
+    validate.add_argument(
+        "--experiments", "-e", nargs="+", default=None, metavar="EXP",
+        help="restrict to these experiments (default: every one with claims)",
+    )
+    validate.add_argument(
+        "--generation", "-g", type=int, default=None, choices=(1, 2),
+        help="restrict to one generation (default: both; mutation mode "
+             "defaults to G1 only)",
+    )
+    validate.add_argument("--profile", "-p", default="fast", choices=("fast", "full"))
+    validate.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help="worker processes for the underlying sweep (default 1)",
+    )
+    validate.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="also write the fidelity report as JSON (the CI artifact)",
+    )
+    validate.add_argument(
+        "--expect-fail", default=None, metavar="KNOB=VALUE",
+        help="mutation-smoke mode: flip one design knob and require exactly "
+             "the declared claims to fail (e.g. read_buffer=off); runs "
+             "serially and uncached",
+    )
+    validate.add_argument(
+        "--determinism", action="store_true",
+        help="also run the differential determinism suite (serial vs "
+             "parallel, cached vs fresh, seed shift, grid refinement)",
+    )
+    validate.add_argument(
+        "--list", action="store_true", dest="list_claims",
+        help="list the registered claims and exit",
+    )
+    cache_group = validate.add_mutually_exclusive_group()
+    cache_group.add_argument(
+        "--cache", dest="cache", action="store_true", default=True,
+        help="serve/populate the on-disk result cache (default)",
+    )
+    cache_group.add_argument(
+        "--no-cache", dest="cache", action="store_false",
+        help="bypass the result cache entirely",
+    )
+    validate.add_argument(
+        "--force", action="store_true",
+        help="invalidate cached entries for the selected runs and recompute",
+    )
+    validate.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result cache root (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
     return parser
 
 
@@ -170,6 +229,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "trace":
         return _trace_command(args)
+
+    if args.command == "validate":
+        return _validate_command(args)
 
     if args.command == "crashtest":
         try:
@@ -252,6 +314,79 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "crashtest":
         return _crashtest_verdict(results)
     return 0
+
+
+def _validate_command(args) -> int:
+    """Run the fidelity oracle; exit 0 only when it holds.
+
+    Normal mode: every selected claim must pass.  Mutation-smoke mode
+    (``--expect-fail knob=value``): the observed failures must match
+    the mutation's declared expectation exactly — a claim that fails
+    to fail means the oracle has no teeth for that property.  The
+    ``--determinism`` suite folds into the exit code the same way.
+    """
+    from repro.validate import run_determinism_suite, select_claims, validate
+
+    if args.list_claims:
+        generations = (args.generation,) if args.generation else (1, 2)
+        claims = select_claims(args.experiments, generations, args.profile)
+        width = max((len(claim.id) for claim in claims), default=0)
+        for claim in claims:
+            print(f"{claim.id.ljust(width)}  [{claim.experiment} G{claim.generation}] "
+                  f"{claim.claim}")
+        print(f"[{len(claims)} claims]")
+        return 0
+
+    if args.generation is not None:
+        generations = (args.generation,)
+    elif args.expect_fail is not None:
+        generations = (1,)  # mutations are calibrated against G1 sweeps
+    else:
+        generations = (1, 2)
+    cache = ResultCache(args.cache_dir) if args.cache and not args.expect_fail else None
+
+    def progress(verdict) -> None:
+        marker = "ok" if verdict.passed else "FAIL"
+        print(f"  [{marker}] {verdict.claim_id}: {verdict.measured}")
+
+    try:
+        fidelity = validate(
+            experiments=args.experiments,
+            generations=generations,
+            profile=args.profile,
+            jobs=args.jobs,
+            cache=cache,
+            force=args.force,
+            mutation=args.expect_fail,
+            progress=progress,
+        )
+    except ConfigError as error:
+        print(f"validate: {error}", file=sys.stderr)
+        return 2
+    print()
+    print(fidelity.render())
+
+    determinism = []
+    if args.determinism:
+        print()
+        determinism = run_determinism_suite(cache_dir=args.cache_dir, jobs=max(args.jobs, 2))
+        for result in determinism:
+            marker = "ok" if result.passed else "FAIL"
+            print(f"  [{marker}] {result.name}: {result.detail}")
+
+    if args.json is not None:
+        payload = fidelity.to_dict()
+        if determinism:
+            payload["determinism"] = [result.to_dict() for result in determinism]
+        import json as _json
+        import pathlib
+
+        path = pathlib.Path(args.json)
+        path.write_text(_json.dumps(payload, indent=2))
+        print(f"[fidelity report written to {path}]")
+
+    ok = fidelity.ok() and all(result.passed for result in determinism)
+    return 0 if ok else 1
 
 
 def _trace_command(args) -> int:

@@ -17,6 +17,20 @@ from repro.common.units import fmt_size, kib, mib
 from repro.system.machine import Core
 
 
+def _canonical_timeseries(timeseries: dict | None) -> dict | None:
+    """Deep-copy attached telemetry into pure JSON types.
+
+    ``None`` stays ``None`` (untraced report — the distinction matters:
+    cached sweep entries are always untraced).  Anything else is pushed
+    through a JSON round-trip so tuples become lists and no caller
+    aliases the report's mutable payload: a report that was serialized
+    and parsed back must compare equal to the original.
+    """
+    if timeseries is None:
+        return None
+    return json.loads(json.dumps(timeseries))
+
+
 @dataclass
 class Series:
     """One plotted line: a name and y values over the report's x-axis."""
@@ -54,6 +68,15 @@ class ExperimentReport:
     #: (``repro trace``); None for ordinary runs, so traced and
     #: untraced reports of the same experiment stay comparable.
     timeseries: dict | None = None
+
+    def __post_init__(self) -> None:
+        """Canonicalize attached telemetry so round-trips stay lossless.
+
+        JSON turns tuples into lists; normalizing here (and in
+        :meth:`to_dict` / :meth:`from_dict`) keeps a parsed-back report
+        equal to the original whatever shape the caller handed in.
+        """
+        self.timeseries = _canonical_timeseries(self.timeseries)
 
     def add_series(self, name: str, values: list[float]) -> None:
         """Append one named curve (must match the x-axis length)."""
@@ -94,7 +117,7 @@ class ExperimentReport:
             "series": [{"name": s.name, "values": list(s.values)} for s in self.series],
             "notes": list(self.notes),
             "x_is_size": self.x_is_size,
-            "timeseries": self.timeseries,
+            "timeseries": _canonical_timeseries(self.timeseries),
         }
 
     @classmethod
@@ -108,7 +131,7 @@ class ExperimentReport:
             series=[Series(s["name"], list(s["values"])) for s in data.get("series", [])],
             notes=list(data.get("notes", [])),
             x_is_size=data.get("x_is_size"),
-            timeseries=data.get("timeseries"),
+            timeseries=_canonical_timeseries(data.get("timeseries")),
         )
 
     def to_json(self, indent: int | None = None) -> str:

@@ -9,6 +9,7 @@ prefetcher configuration, and optional remote-NUMA regions.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import replace
 
 from repro.cache.hierarchy import CacheHierarchyConfig
@@ -35,6 +36,53 @@ from repro.system.machine import (
 #: Address-space sizes of the preset regions.
 PM_REGION_SIZE = gib(8)
 DRAM_REGION_SIZE = gib(8)
+
+#: Ambient (process-local) preset overrides; see :func:`preset_overrides`.
+_AMBIENT: dict = {}
+
+
+@contextmanager
+def preset_overrides(optane: dict | None = None, timing: dict | None = None,
+                     seed: int | None = None):
+    """Apply field overrides to every preset machine built in the block.
+
+    The fidelity oracle's mutation-smoke mode
+    (:mod:`repro.validate.mutations`) and seed-shift determinism check
+    flip simulator design knobs *globally* — e.g. shrink the read
+    buffer to one XPLine, or switch write-buffer eviction to FIFO —
+    without threading parameters through every experiment.  ``optane``
+    fields are ``replace``d into the machine's
+    :class:`~repro.dimm.config.OptaneDimmConfig` and ``timing`` into
+    its :class:`~repro.system.machine.CoreTiming` *after* any explicit
+    per-call configuration, so the override wins even for experiments
+    that build custom configs.  ``seed`` replaces the machine seed.
+
+    Process-local: worker processes of a parallel sweep never see the
+    ambient state, so mutated validation runs must execute serially
+    and uncached (``repro.validate`` enforces both).  Overrides do not
+    nest — entering a second context while one is active raises.
+    """
+    if _AMBIENT:
+        raise RuntimeError("preset_overrides does not nest")
+    _AMBIENT.update({"optane": dict(optane or {}), "timing": dict(timing or {}),
+                     "seed": seed})
+    try:
+        yield
+    finally:
+        _AMBIENT.clear()
+
+
+def _apply_ambient(config: MachineConfig) -> MachineConfig:
+    """Fold any active ambient overrides into a finished config."""
+    if not _AMBIENT:
+        return config
+    if _AMBIENT["optane"]:
+        config = replace(config, optane=replace(config.optane, **_AMBIENT["optane"]))
+    if _AMBIENT["timing"]:
+        config = replace(config, timing=replace(config.timing, **_AMBIENT["timing"]))
+    if _AMBIENT["seed"] is not None:
+        config = replace(config, seed=_AMBIENT["seed"])
+    return config
 
 
 def _regions(
@@ -108,7 +156,7 @@ def g1_machine(
     )
     if config_overrides:
         config = replace(config, **config_overrides)
-    return Machine(config)
+    return Machine(_apply_ambient(config))
 
 
 def g2_machine(
@@ -145,7 +193,7 @@ def g2_machine(
     )
     if config_overrides:
         config = replace(config, **config_overrides)
-    return Machine(config)
+    return Machine(_apply_ambient(config))
 
 
 def machine_for(generation: int, **kwargs) -> Machine:

@@ -1,0 +1,46 @@
+"""``repro.validate`` — the executable-paper-claim fidelity oracle.
+
+Turns every EXPERIMENTS.md row into a machine-checkable
+:class:`~repro.validate.spec.Claim` over experiment report curves and
+aggregates the verdicts into a
+:class:`~repro.validate.report.FidelityReport`:
+
+* :mod:`repro.validate.predicates` — composable, grid-independent
+  shape predicates (plateaus, knees, orderings, crossovers);
+* :mod:`repro.validate.claims` — the declarative registry, one module
+  per experiment, each claim carrying its paper citation and any
+  documented deviation allowance;
+* :mod:`repro.validate.oracle` — :func:`validate`, the engine that
+  runs the minimal sweep set (through the cached parallel runner) and
+  evaluates the claims;
+* :mod:`repro.validate.mutations` — mutation-smoke mode: flip one
+  inferred design knob, require exactly the right claims to break;
+* :mod:`repro.validate.determinism` — differential checks (serial vs
+  parallel, cached vs fresh, seed shift, grid refinement).
+
+CLI: ``repro validate [--profile fast|full] [--experiments ...]
+[--json out] [--expect-fail knob=value] [--determinism]``.
+"""
+
+from repro.validate.determinism import DeterminismResult, run_determinism_suite
+from repro.validate.mutations import MUTATIONS, Mutation, parse_mutation
+from repro.validate.oracle import select_claims, validate
+from repro.validate.predicates import Curve, PredicateResult
+from repro.validate.report import ClaimVerdict, FidelityReport
+from repro.validate.spec import Claim, ReportSet
+
+__all__ = [
+    "Claim",
+    "ClaimVerdict",
+    "Curve",
+    "DeterminismResult",
+    "FidelityReport",
+    "MUTATIONS",
+    "Mutation",
+    "PredicateResult",
+    "ReportSet",
+    "parse_mutation",
+    "run_determinism_suite",
+    "select_claims",
+    "validate",
+]

@@ -1,0 +1,52 @@
+"""The claim registry: every EXPERIMENTS.md row as executable claims.
+
+One module per experiment family, mirroring EXPERIMENTS.md's numbering
+(E1 = Figure 2 ... E9b = Figure 14, plus the supplemental sweeps).
+Each module exposes a ``CLAIMS`` tuple; :func:`all_claims` concatenates
+them and enforces id uniqueness so two modules cannot silently shadow
+one another.
+
+Claim ids are stable API: the mutation-smoke expectations in
+:mod:`repro.validate.mutations` and the CI fidelity gate both refer to
+them by name.
+"""
+
+from __future__ import annotations
+
+from repro.validate.claims import (
+    fig02,
+    fig03,
+    fig04,
+    fig06,
+    fig07,
+    fig08,
+    fig10,
+    fig12,
+    fig13,
+    fig14,
+    sec33,
+    supplemental,
+    table1,
+)
+from repro.validate.spec import Claim
+
+_MODULES = (
+    fig02, fig03, fig04, sec33, fig06, fig07, fig08,
+    table1, fig10, fig12, fig13, fig14, supplemental,
+)
+
+
+def all_claims() -> list[Claim]:
+    """Every registered claim, in EXPERIMENTS.md order."""
+    claims: list[Claim] = []
+    seen: dict[str, str] = {}
+    for module in _MODULES:
+        for claim in module.CLAIMS:
+            if claim.id in seen:
+                raise ValueError(
+                    f"duplicate claim id {claim.id!r} in {module.__name__} "
+                    f"(first defined in {seen[claim.id]})"
+                )
+            seen[claim.id] = module.__name__
+            claims.append(claim)
+    return claims

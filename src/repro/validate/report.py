@@ -1,0 +1,203 @@
+"""The fidelity report: aggregated claim verdicts, JSON + human table.
+
+A :class:`FidelityReport` is what ``repro validate`` produces: one
+:class:`ClaimVerdict` per evaluated claim (pass/fail plus the measured
+values that drove the verdict), the run configuration that produced
+it, and — in mutation-smoke mode — the expected-vs-observed failure
+bookkeeping that decides the exit code.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.validate.predicates import PredicateResult
+from repro.validate.spec import Claim
+
+
+@dataclass(frozen=True)
+class ClaimVerdict:
+    """One claim's outcome, self-describing for the JSON artifact."""
+
+    claim_id: str
+    experiment: str
+    generation: int
+    claim: str
+    citation: str
+    passed: bool
+    measured: str
+    expected: str
+    allowance: str = ""
+
+    @classmethod
+    def from_result(cls, claim: Claim, result: PredicateResult) -> "ClaimVerdict":
+        """Fuse a claim's metadata with its predicate result."""
+        return cls(
+            claim_id=claim.id,
+            experiment=claim.experiment,
+            generation=claim.generation,
+            claim=claim.claim,
+            citation=claim.citation,
+            passed=result.passed,
+            measured=result.measured,
+            expected=result.expected,
+            allowance=claim.allowance,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form."""
+        return {
+            "claim_id": self.claim_id,
+            "experiment": self.experiment,
+            "generation": self.generation,
+            "claim": self.claim,
+            "citation": self.citation,
+            "passed": self.passed,
+            "measured": self.measured,
+            "expected": self.expected,
+            "allowance": self.allowance,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ClaimVerdict":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)
+
+
+@dataclass
+class FidelityReport:
+    """Every claim verdict of one validation run, plus its context.
+
+    ``mutation`` is the ``knob=value`` string when the run executed in
+    mutation-smoke mode (None otherwise); ``expected_failures`` then
+    lists the claim ids the mutation was expected to break.  ``ok()``
+    encodes the CI gate: a normal run passes iff every claim passed; a
+    mutation run passes iff the failing claims are exactly the
+    expected ones — an unexpectedly passing claim means the oracle
+    lost its teeth, an unexpectedly failing one means collateral
+    damage, and both exit nonzero.
+    """
+
+    profile: str = "fast"
+    generations: tuple = (1, 2)
+    verdicts: list = field(default_factory=list)
+    mutation: str | None = None
+    expected_failures: list = field(default_factory=list)
+    #: Experiments whose sweep failed outright (quarantined runs):
+    #: their claims are recorded as failed with the runner's error.
+    run_errors: dict = field(default_factory=dict)
+    sweep_summary: str = ""
+
+    # -- accounting --------------------------------------------------------
+
+    @property
+    def passed(self) -> list:
+        """Verdicts that passed."""
+        return [v for v in self.verdicts if v.passed]
+
+    @property
+    def failed(self) -> list:
+        """Verdicts that failed."""
+        return [v for v in self.verdicts if not v.passed]
+
+    def unexpected_failures(self) -> list:
+        """Failing claims a mutation run did not predict."""
+        expected = set(self.expected_failures)
+        return [v for v in self.failed if v.claim_id not in expected]
+
+    def unexpected_passes(self) -> list:
+        """Claims a mutation was expected to break but that passed."""
+        expected = set(self.expected_failures)
+        return [v for v in self.passed if v.claim_id in expected]
+
+    def missing_expected(self) -> list:
+        """Expected-to-fail claim ids that were never evaluated."""
+        seen = {v.claim_id for v in self.verdicts}
+        return [claim_id for claim_id in self.expected_failures if claim_id not in seen]
+
+    def ok(self) -> bool:
+        """The gate verdict (see class docstring)."""
+        if self.run_errors:
+            return False
+        if self.mutation is None:
+            return not self.failed
+        return (
+            not self.unexpected_failures()
+            and not self.unexpected_passes()
+            and not self.missing_expected()
+        )
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form (the CI artifact schema)."""
+        return {
+            "schema": "repro-fidelity-report/1",
+            "profile": self.profile,
+            "generations": list(self.generations),
+            "mutation": self.mutation,
+            "expected_failures": list(self.expected_failures),
+            "run_errors": dict(self.run_errors),
+            "sweep_summary": self.sweep_summary,
+            "ok": self.ok(),
+            "counts": {
+                "claims": len(self.verdicts),
+                "passed": len(self.passed),
+                "failed": len(self.failed),
+            },
+            "verdicts": [v.to_dict() for v in self.verdicts],
+        }
+
+    def to_json(self, indent: int | None = 1) -> str:
+        """Serialize for ``--json`` / the CI artifact."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FidelityReport":
+        """Rebuild a report from :meth:`to_json` output."""
+        data = json.loads(text)
+        return cls(
+            profile=data["profile"],
+            generations=tuple(data["generations"]),
+            verdicts=[ClaimVerdict.from_dict(v) for v in data["verdicts"]],
+            mutation=data.get("mutation"),
+            expected_failures=list(data.get("expected_failures", [])),
+            run_errors=dict(data.get("run_errors", {})),
+            sweep_summary=data.get("sweep_summary", ""),
+        )
+
+    # -- rendering ---------------------------------------------------------
+
+    def render(self, verbose: bool = False) -> str:
+        """Human table: one row per claim, failures always expanded."""
+        lines = [
+            f"== fidelity: {len(self.passed)}/{len(self.verdicts)} claims pass "
+            f"(profile={self.profile}, generations={','.join(map(str, self.generations))}"
+            + (f", mutation={self.mutation}" if self.mutation else "")
+            + ") =="
+        ]
+        width = max((len(v.claim_id) for v in self.verdicts), default=8)
+        for verdict in self.verdicts:
+            status = "PASS" if verdict.passed else "FAIL"
+            if self.mutation is not None and verdict.claim_id in set(self.expected_failures):
+                status += " (expected FAIL)" if not verdict.passed else " (!! expected to FAIL)"
+            lines.append(f"{status:<6} {verdict.claim_id.ljust(width)}  {verdict.claim}")
+            if verbose or not verdict.passed:
+                lines.append(f"       {' ' * width}  measured: {verdict.measured}")
+                lines.append(f"       {' ' * width}  expected: {verdict.expected}")
+                if verdict.allowance:
+                    lines.append(f"       {' ' * width}  allowance: {verdict.allowance}")
+        for experiment, error in self.run_errors.items():
+            lines.append(f"ERROR  {experiment}: {error}")
+        if self.mutation is not None:
+            missing = self.missing_expected()
+            if missing:
+                lines.append(f"expected-to-fail claims never evaluated: {', '.join(missing)}")
+            lines.append(
+                "mutation verdict: "
+                + ("expected breakage observed" if self.ok() else "MISMATCH with expectation")
+            )
+        if self.sweep_summary:
+            lines.append(f"[sweep: {self.sweep_summary}]")
+        return "\n".join(lines)

@@ -1,0 +1,153 @@
+"""Claim specifications: binding shape predicates to report series.
+
+A :class:`Claim` is one EXPERIMENTS.md row made executable: it names
+the experiment and generation whose reports it reads, carries the
+paper citation and any documented deviation allowance, and holds a
+check callable that selects curves out of the experiment's
+:class:`~repro.experiments.common.ExperimentReport` list and evaluates
+a predicate from :mod:`repro.validate.predicates` against them.
+
+Checks receive a :class:`ReportSet` — a thin selector over the report
+list — so claim modules stay declarative::
+
+    Claim(
+        id="E1/ra-floor",
+        experiment="fig2", generation=1,
+        claim="RA never drops below 1 (buffer exclusive to CPU caches)",
+        citation="Fig. 2, S3.1",
+        check=on_series("read 1 cacheline", never_below(1.0)),
+    )
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.experiments.common import ExperimentReport
+from repro.validate.predicates import Curve, PairPredicate, Predicate, PredicateResult
+
+
+class ReportSet:
+    """Selector over one experiment run's reports.
+
+    Wraps the ``list[ExperimentReport]`` an experiment returned for one
+    ``(generation, profile)`` and resolves (report, series) references
+    to :class:`Curve` values.  Raises ``KeyError`` with the available
+    names on a miss, so a claim broken by a renamed series fails with
+    an actionable message rather than a silent pass.
+    """
+
+    def __init__(self, reports: list[ExperimentReport]):
+        """Wrap ``reports`` (the experiment's full return value)."""
+        self.reports = list(reports)
+
+    def report(self, id_contains: str | None = None) -> ExperimentReport:
+        """The report whose id contains ``id_contains`` (first if None)."""
+        if not self.reports:
+            raise KeyError("experiment produced no reports")
+        if id_contains is None:
+            return self.reports[0]
+        for report in self.reports:
+            if id_contains in report.experiment_id:
+                return report
+        known = ", ".join(r.experiment_id for r in self.reports)
+        raise KeyError(f"no report id contains {id_contains!r}; have: {known}")
+
+    def curve(self, series: str, report: str | None = None) -> Curve:
+        """The named series of the selected report, as a :class:`Curve`."""
+        selected = self.report(report)
+        try:
+            values = selected.get(series)
+        except KeyError:
+            known = ", ".join(s.name for s in selected.series)
+            raise KeyError(
+                f"{selected.experiment_id}: no series {series!r}; have: {known}"
+            ) from None
+        return Curve.of(selected.x_values, values)
+
+    def value(self, series: str, x, report: str | None = None) -> float:
+        """One point of a series, looked up by exact x value.
+
+        For reports whose x axis is categorical (sec33's metric names,
+        table1's thread/DIMM configurations, lock's memory regions).
+        """
+        curve = self.curve(series, report)
+        for cx, cy in zip(curve.x, curve.y):
+            if cx == x:
+                return cy
+        raise KeyError(f"series {series!r} has no x == {x!r}; have: {list(curve.x)}")
+
+
+#: A claim check: ReportSet in, PredicateResult out.
+Check = Callable[[ReportSet], PredicateResult]
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One machine-checkable paper claim.
+
+    ``allowance`` documents a known, accepted deviation from the paper
+    (EXPERIMENTS.md's "Deviations" rows); it is carried into the
+    fidelity report so a loosened tolerance is always visible next to
+    its justification.  ``profiles`` restricts evaluation to the
+    profiles whose grids can resolve the claim (default: both).
+    """
+
+    id: str
+    experiment: str
+    generation: int
+    claim: str
+    citation: str
+    check: Check
+    allowance: str = ""
+    profiles: tuple = ("fast", "full")
+    tags: tuple = field(default=())
+
+    def __post_init__(self) -> None:
+        """Enforce the ``code/slug`` id shape and a known generation."""
+        if not self.id or "/" not in self.id:
+            raise ValueError(f"claim id {self.id!r} must look like 'E1/slug'")
+        if self.generation not in (1, 2):
+            raise ValueError(f"{self.id}: generation must be 1 or 2")
+
+    def evaluate(self, reports: list[ExperimentReport]) -> PredicateResult:
+        """Run the check; selector/evaluation errors become failures."""
+        try:
+            return self.check(ReportSet(reports))
+        except Exception as error:  # a broken selector is a failed claim
+            return PredicateResult(
+                False, f"evaluation error: {type(error).__name__}: {error}", self.claim
+            )
+
+
+def on_series(series: str, predicate: Predicate, report: str | None = None) -> Check:
+    """Check ``predicate`` against one named series."""
+
+    def check(reports: ReportSet) -> PredicateResult:
+        return predicate(reports.curve(series, report))
+
+    return check
+
+
+def on_pair(
+    subject: str,
+    reference: str,
+    predicate: PairPredicate,
+    report: str | None = None,
+    reference_report: str | None = None,
+) -> Check:
+    """Check a two-curve predicate (subject vs reference series)."""
+
+    def check(reports: ReportSet) -> PredicateResult:
+        return predicate(
+            reports.curve(subject, report),
+            reports.curve(reference, reference_report if reference_report is not None else report),
+        )
+
+    return check
+
+
+def on_reports(fn: Callable[[ReportSet], PredicateResult]) -> Check:
+    """Escape hatch: a claim computed from the full report set."""
+    return fn

@@ -1,0 +1,25 @@
+"""Test-suite-wide marker wiring (see ``[tool.pytest.ini_options]``).
+
+Three speed tiers partition the suite:
+
+* ``fast`` — tier-1; auto-applied to every test that carries neither
+  ``slow`` nor ``campaign``, so ``-m fast`` selects exactly the
+  default tier without hand-marking hundreds of tests.
+* ``slow`` — tier-2; deselected by the project-wide ``-m "not slow"``
+  addopts, re-selected in CI with ``-m slow``.
+* ``campaign`` — full-sweep scale; implies ``slow`` (added here) so
+  the tier-1 filter never picks a campaign up by accident.
+"""
+
+import pytest
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        if item.get_closest_marker("campaign") is not None:
+            item.add_marker(pytest.mark.slow)
+        if (
+            item.get_closest_marker("slow") is None
+            and item.get_closest_marker("campaign") is None
+        ):
+            item.add_marker(pytest.mark.fast)

@@ -44,6 +44,14 @@ LINTED_MODULES = [
     SRC / "trace" / "sampler.py",
     SRC / "trace" / "session.py",
     SRC / "trace" / "tap.py",
+    SRC / "validate" / "__init__.py",
+    SRC / "validate" / "determinism.py",
+    SRC / "validate" / "mutations.py",
+    SRC / "validate" / "oracle.py",
+    SRC / "validate" / "predicates.py",
+    SRC / "validate" / "report.py",
+    SRC / "validate" / "spec.py",
+    SRC / "validate" / "claims" / "__init__.py",
 ]
 
 

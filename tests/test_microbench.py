@@ -189,8 +189,14 @@ class TestFig7Rap:
         assert nt > 1000
 
 
+@pytest.mark.slow
 class TestFig8PointerChase:
-    """C6: three latency levels; flat writes; reads dominate at scale."""
+    """C6: three latency levels; flat writes; reads dominate at scale.
+
+    Each chase walks multi-MB working sets (10-20 s apiece), so the
+    class is tier-2; the E6 claims in ``repro.validate`` re-assert the
+    same shapes from the experiment's reports.
+    """
 
     def _chase(self, wss, mode, sequential=True, model=PersistencyModel.STRICT):
         machine = machine_for(1)
